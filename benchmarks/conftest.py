@@ -1,0 +1,48 @@
+"""Shared sweep for the figure benchmarks.
+
+All of Figs. 7-11 plot the same experiment matrix, so the sweep is run
+once per benchmark session and shared. Scale (documented per DESIGN.md):
+
+* 40 nodes on a proportionally shrunk plain (paper: 75 on 500 x 300 m),
+  so density, contention and tree depth per hop match the paper's;
+* 100 packets per run (paper: 10 000), 2 placements (paper: 10);
+* rates {10, 60, 120} pkt/s (paper: 8 rates), all three mobility
+  scenarios, RMAC vs BMMM.
+
+Absolute confidence intervals are wider than the paper's; the assertions
+in each bench check the *shape* (orderings, ranges), and the printed
+tables are what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scaled_scenario
+
+BENCH_RATES = (10, 60, 120)
+BENCH_SEEDS = (1, 2)
+BENCH_NODES = 40
+BENCH_PACKETS = 100
+SCENARIO_NAMES = ("stationary", "speed1", "speed2")
+
+
+def _make_config(protocol, scenario, rate, seed):
+    return scaled_scenario(
+        protocol, scenario, rate, seed, n_packets=BENCH_PACKETS, n_nodes=BENCH_NODES
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_results():
+    """The shared RMAC-vs-BMMM sweep across scenarios and rates."""
+    return run_sweep(
+        ["rmac", "bmmm"], list(SCENARIO_NAMES), list(BENCH_RATES),
+        list(BENCH_SEEDS), _make_config,
+    )
+
+
+def by_point(results):
+    """Index sweep results as {(protocol, scenario, rate): SweepResult}."""
+    return {(r.protocol, r.scenario, r.rate_pps): r for r in results}

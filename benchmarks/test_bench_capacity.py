@@ -1,0 +1,47 @@
+"""Capacity cross-check: the analytic saturation model vs the simulator.
+
+``repro.analysis.capacity`` predicts each protocol's zero-contention
+per-hop floor. The simulated network must (a) never beat the floor and
+(b) show BMMM's delay knee arriving before RMAC's -- the mechanism behind
+Fig. 9's separation.
+"""
+
+from repro.analysis.capacity import bmmm_transaction_time, rmac_transaction_time
+from repro.experiments.report import format_table
+from repro.sim.units import SEC
+from repro.world.network import ScenarioConfig, build_network
+
+BASE = dict(n_nodes=16, width=220, height=160, n_packets=60,
+            warmup_s=4.0, drain_s=6.0, seed=3)
+
+
+def test_bench_capacity_floor_vs_simulation(benchmark):
+    def run():
+        rows = []
+        for protocol, model in (("rmac", rmac_transaction_time),
+                                ("bmmm", bmmm_transaction_time)):
+            floor_ns = model(3, 500)
+            for rate in (10, 80):
+                summary = build_network(
+                    ScenarioConfig(protocol=protocol, rate_pps=rate, **BASE)
+                ).run()
+                rows.append({
+                    "protocol": protocol,
+                    "rate": rate,
+                    "floor (ms/pkt/hop)": floor_ns / 1e6,
+                    "delay (s)": summary.avg_delay_s,
+                    "delivery": summary.delivery_ratio,
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Analytic floor vs simulated delay"))
+    by = {(r["protocol"], r["rate"]): r for r in rows}
+    # Per-packet delay can never beat the single-hop floor.
+    for (protocol, rate), row in by.items():
+        assert row["delay (s)"] * SEC >= rmac_transaction_time(1, 500) * 0.5
+    # The load-induced delay growth is steeper for BMMM (earlier knee).
+    rmac_growth = by[("rmac", 80)]["delay (s)"] / by[("rmac", 10)]["delay (s)"]
+    bmmm_growth = by[("bmmm", 80)]["delay (s)"] / by[("bmmm", 10)]["delay (s)"]
+    assert bmmm_growth > rmac_growth

@@ -1,0 +1,29 @@
+"""Fig. 10: average packet retransmission ratio over non-leaf nodes.
+
+Paper shape: stationary RMAC <= ~0.32; rises toward ~1 with mobility;
+RMAC below BMMM ("the protection of RBT really helps").
+"""
+
+from benchmarks.conftest import BENCH_RATES, SCENARIO_NAMES, by_point
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table
+
+
+def test_bench_fig10_retransmission_ratio(sweep_results, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(FIGURES["fig10"], sweep_results), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Fig. 10: Average Packet Retransmission Ratio"))
+    points = by_point(sweep_results)
+    # Stationary RMAC: low retransmission ratio (paper: <= 0.32).
+    for rate in BENCH_RATES:
+        assert points[("rmac", "stationary", rate)]["avg_retx_ratio"] < 0.6
+    # Mobility increases RMAC's retransmissions.
+    static_mean = sum(
+        points[("rmac", "stationary", r)]["avg_retx_ratio"] for r in BENCH_RATES
+    )
+    mobile_mean = sum(
+        points[("rmac", "speed2", r)]["avg_retx_ratio"] for r in BENCH_RATES
+    )
+    assert mobile_mean > static_mean

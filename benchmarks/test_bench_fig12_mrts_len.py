@@ -1,0 +1,29 @@
+"""Fig. 12: average / 99-percentile / maximum MRTS lengths (RMAC only).
+
+Paper shape: averages ~41 B (stationary), 99% under 74 B, maxima capped
+by the 20-receiver limit (132 B); retransmissions shorten the average
+under load and mobility.
+"""
+
+from benchmarks.conftest import BENCH_RATES, SCENARIO_NAMES, by_point
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table
+from repro.mac.frames import MRTS_FIXED_BYTES
+
+
+def test_bench_fig12_mrts_lengths(sweep_results, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(FIGURES["fig12"], sweep_results), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Fig. 12: Length of MRTS (bytes)"))
+    points = by_point(sweep_results)
+    for scenario in SCENARIO_NAMES:
+        for rate in BENCH_RATES:
+            point = points[("rmac", scenario, rate)]
+            avg, p99, top = (point["mrts_len_avg"], point["mrts_len_p99"],
+                             point["mrts_len_max"])
+            assert MRTS_FIXED_BYTES + 6 <= avg <= 74       # short on average
+            assert p99 <= 132                              # within the cap
+            assert top <= 132                              # 20-receiver cap
+            assert avg <= p99 <= top or p99 == top

@@ -1,0 +1,27 @@
+"""Fig. 13: MRTS abortion ratio, avg / 99p / max over non-leaf nodes
+(RMAC only).
+
+Paper shape: a rare event -- stationary averages below 0.0035 and 99th
+percentiles below 0.03; slightly larger when mobile (a node with an
+ongoing MRTS can move into another node's RBT range).
+"""
+
+from benchmarks.conftest import BENCH_RATES, SCENARIO_NAMES, by_point
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table
+
+
+def test_bench_fig13_mrts_abortion(sweep_results, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(FIGURES["fig13"], sweep_results), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Fig. 13: MRTS Abortion Ratio"))
+    points = by_point(sweep_results)
+    for scenario in SCENARIO_NAMES:
+        for rate in BENCH_RATES:
+            point = points[("rmac", scenario, rate)]
+            assert point["abort_avg"] is not None
+            # "MRTS abortion is a rare phenomenon in RMAC."
+            assert point["abort_avg"] < 0.05, (scenario, rate)
+            assert point["abort_max"] < 0.3

@@ -1,0 +1,49 @@
+"""Fig. 6 / Section 4.1.1: tree topology statistics at full paper scale.
+
+The paper reports, over its 75-node 500 x 300 m placements: average /
+99-percentile hops-to-root of 3.87 / 10, and average / 99-percentile
+children per non-leaf node of 3.54 / 9. This bench builds the BLESS
+fixed-point tree (BFS from node 0) over ten random placements -- the same
+count the paper uses -- and checks the statistics land in those ranges.
+"""
+
+import random
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.net.tree import bfs_tree, tree_statistics
+from repro.world.placement import random_placement
+
+
+def build_stats(n_placements=10):
+    rows = []
+    for seed in range(n_placements):
+        rng = random.Random(1000 + seed)
+        coords = random_placement(75, 500, 300, rng, radio_range=75.0)
+        stats = tree_statistics(bfs_tree(coords, 75.0))
+        stats["seed"] = seed
+        rows.append(stats)
+    return rows
+
+
+def test_bench_fig6_tree_statistics(benchmark):
+    rows = benchmark.pedantic(build_stats, rounds=1, iterations=1)
+    mean = {k: float(np.mean([r[k] for r in rows]))
+            for k in ("avg_hops", "p99_hops", "avg_children", "p99_children")}
+    print()
+    print(format_table(rows, title="Fig. 6 tree statistics (10 placements)"))
+    print(f"paper: avg/99p hops = 3.87 / 10 ; avg/99p children = 3.54 / 9")
+    print(f"ours : avg/99p hops = {mean['avg_hops']:.2f} / {mean['p99_hops']:.1f} ; "
+          f"avg/99p children = {mean['avg_children']:.2f} / {mean['p99_children']:.1f}")
+    # Shape check: same ballpark as the paper's numbers. The children
+    # average runs lower than the paper's 3.54 because min-hop/min-id
+    # parent selection spreads children over more parents than whatever
+    # tie-breaking the paper's BLESS implementation used (unspecified);
+    # see EXPERIMENTS.md.
+    assert 2.5 <= mean["avg_hops"] <= 5.5
+    assert 6 <= mean["p99_hops"] <= 13
+    assert 1.8 <= mean["avg_children"] <= 5.0
+    assert 5 <= mean["p99_children"] <= 12
+    # Every tree spans the whole (connected) network.
+    assert all(r["reachable"] == 75 for r in rows)

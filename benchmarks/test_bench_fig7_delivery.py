@@ -1,0 +1,31 @@
+"""Fig. 7: packet delivery ratio vs source rate, RMAC vs BMMM, three
+mobility scenarios.
+
+Paper shape: (a) stationary -- RMAC ~1.0 across all rates, BMMM slightly
+lower; (b, c) mobile -- both drop (nodes outrun their parents), but RMAC
+stays clearly above BMMM.
+"""
+
+from benchmarks.conftest import BENCH_RATES, SCENARIO_NAMES, by_point
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table
+
+
+def test_bench_fig7_delivery_ratio(sweep_results, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(FIGURES["fig7"], sweep_results), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Fig. 7: Packet Delivery Ratio"))
+    points = by_point(sweep_results)
+    # (a) stationary: RMAC essentially perfect at every rate.
+    for rate in BENCH_RATES:
+        assert points[("rmac", "stationary", rate)]["delivery_ratio"] > 0.97
+    # mobile: delivery degrades relative to stationary...
+    for scenario in ("speed1", "speed2"):
+        for rate in BENCH_RATES:
+            rmac = points[("rmac", scenario, rate)]["delivery_ratio"]
+            bmmm = points[("bmmm", scenario, rate)]["delivery_ratio"]
+            assert rmac < 1.0
+            # ...and RMAC stays above BMMM (paper: "much higher").
+            assert rmac > bmmm

@@ -1,0 +1,29 @@
+"""Fig. 8: average packet drop ratio over non-leaf nodes.
+
+Paper shape: essentially zero when stationary for RMAC (~0.003 at the
+highest rate); grows with mobility; RMAC <= BMMM everywhere.
+"""
+
+from benchmarks.conftest import BENCH_RATES, by_point
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table
+
+
+def test_bench_fig8_drop_ratio(sweep_results, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(FIGURES["fig8"], sweep_results), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Fig. 8: Average Packet Drop Ratio"))
+    points = by_point(sweep_results)
+    for rate in BENCH_RATES:
+        assert points[("rmac", "stationary", rate)]["avg_drop_ratio"] < 0.01
+    # Mobility raises drops for both protocols (vs their stationary runs).
+    for protocol in ("rmac", "bmmm"):
+        static = max(
+            points[(protocol, "stationary", r)]["avg_drop_ratio"] for r in BENCH_RATES
+        )
+        mobile = max(
+            points[(protocol, "speed2", r)]["avg_drop_ratio"] for r in BENCH_RATES
+        )
+        assert mobile >= static

@@ -1,0 +1,29 @@
+"""Fig. 9: average end-to-end delay.
+
+Paper shape: RMAC under ~2 s and growing slowly with rate; BMMM several
+times slower in every scenario.
+"""
+
+from benchmarks.conftest import BENCH_RATES, SCENARIO_NAMES, by_point
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table
+
+
+def test_bench_fig9_end_to_end_delay(sweep_results, benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(FIGURES["fig9"], sweep_results), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Fig. 9: Average End-to-End Delay (s)"))
+    points = by_point(sweep_results)
+    for scenario in SCENARIO_NAMES:
+        for rate in BENCH_RATES:
+            rmac = points[("rmac", scenario, rate)]["avg_delay_s"]
+            bmmm = points[("bmmm", scenario, rate)]["avg_delay_s"]
+            # RMAC is the faster reliable multicast everywhere.
+            assert rmac < bmmm, (scenario, rate)
+    # RMAC stays well under the paper's 2 s ceiling at bench scale.
+    assert all(
+        points[("rmac", s, r)]["avg_delay_s"] < 2.0
+        for s in SCENARIO_NAMES for r in BENCH_RATES
+    )

@@ -1,0 +1,63 @@
+"""Micro-benchmarks: engine throughput and single-transaction latencies.
+
+These are real performance benchmarks (the figure benches above measure
+protocol behaviour): how fast the DES core drains events, and how much
+wall-clock one reliable multicast transaction costs under each protocol.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, US
+
+from repro.core import RmacConfig, RmacProtocol
+from repro.mac.bmmm import BmmmProtocol
+from repro.mac.dot11 import Dot11Config
+from repro.world.testbed import MacTestbed
+
+TRIANGLE = [(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)]
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Events per second through the heap (no protocol logic)."""
+
+    def drain():
+        sim = Simulator()
+        count = 20_000
+        for i in range(count):
+            sim.at(i, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(drain)
+    assert events == 20_000
+
+
+def _one_rmac_transaction():
+    tb = MacTestbed(coords=TRIANGLE, seed=1)
+    cfg = RmacConfig(phy=tb.phy)
+    tb.build_macs(lambda i, t: RmacProtocol(i, t.sim, t.radios[i], t.node_rng(i), cfg))
+    done = []
+    tb.macs[0].send_reliable((1, 2), "x", 500, on_complete=done.append)
+    tb.run(50 * MS)
+    assert done and done[0].acked == (1, 2)
+    return tb.sim.events_processed
+
+
+def _one_bmmm_transaction():
+    tb = MacTestbed(coords=TRIANGLE, seed=1)
+    cfg = Dot11Config(phy=tb.phy)
+    tb.build_macs(lambda i, t: BmmmProtocol(i, t.sim, t.radios[i], t.node_rng(i), cfg))
+    done = []
+    tb.macs[0].send_reliable((1, 2), "x", 500, on_complete=done.append)
+    tb.run(50 * MS)
+    assert done and done[0].acked == (1, 2)
+    return tb.sim.events_processed
+
+
+def test_bench_rmac_transaction(benchmark):
+    events = benchmark(_one_rmac_transaction)
+    assert events > 0
+
+
+def test_bench_bmmm_transaction(benchmark):
+    events = benchmark(_one_bmmm_transaction)
+    assert events > 0

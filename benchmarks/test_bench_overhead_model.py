@@ -1,0 +1,50 @@
+"""Section 2 / 3.4 closed-form arithmetic (the paper's overhead table).
+
+Regenerates, and asserts exactly:
+
+* 96 us physical-layer overhead per frame;
+* 56 us ACK payload airtime;
+* 632 n us of BMMM control cost per data frame;
+* 352 us minimal RMAC exchange and the 20-receiver MRTS cap.
+"""
+
+from repro.analysis.overhead import (
+    abt_detection_time,
+    bmmm_control_overhead,
+    bmw_transaction_time,
+    max_receivers_per_mrts,
+    rmac_control_overhead,
+    rmac_min_exchange_time,
+)
+from repro.experiments.report import format_table
+from repro.phy.params import DEFAULT_PHY
+from repro.sim.units import US
+
+
+def test_bench_section2_control_overhead(benchmark):
+    def compute():
+        rows = []
+        for n in (1, 2, 4, 8, 16, 20):
+            rows.append({
+                "receivers": n,
+                "BMMM control (us)": bmmm_control_overhead(n) / US,
+                "RMAC control (us)": rmac_control_overhead(n) / US,
+                "BMW floor (us)": bmw_transaction_time(n, 500) / US,
+                "RMAC/BMMM": rmac_control_overhead(n) / bmmm_control_overhead(n),
+            })
+        return rows
+
+    rows = benchmark(compute)
+    print()
+    print(format_table(rows, title="Section 2: per-data-frame control overhead"))
+    assert DEFAULT_PHY.phy_overhead == 96 * US
+    assert DEFAULT_PHY.payload_airtime(14) == 56 * US
+    assert bmmm_control_overhead(7) == 632 * 7 * US
+    assert all(row["RMAC/BMMM"] < 0.35 for row in rows)
+
+
+def test_bench_section34_receiver_limit(benchmark):
+    result = benchmark(max_receivers_per_mrts)
+    assert result == 20
+    assert rmac_min_exchange_time() == 352 * US
+    assert abt_detection_time() == 17 * US

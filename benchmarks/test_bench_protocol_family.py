@@ -1,0 +1,54 @@
+"""Whole-family comparison on one fixed workload.
+
+Not a paper figure, but the harness output that situates every protocol
+this repository implements -- RMAC against the four related reliable
+multicast MACs its Section 2 surveys -- on identical placements and
+traffic. Asserts the survey's qualitative claims:
+
+* every ARQ protocol with positive per-receiver feedback delivers ~all
+  packets on a static network;
+* the receiver-initiated variant (MX) cannot certify its deliveries;
+* RMAC has the lowest control overhead; LAMM undercuts BMMM; BMW pays
+  the most retransmissions.
+"""
+
+from repro.experiments.report import format_table
+from repro.world.network import ScenarioConfig, build_network
+
+PROTOCOLS = ("rmac", "bmmm", "lamm", "bmw", "lbp", "mx")
+BASE = dict(n_nodes=20, width=260, height=160, rate_pps=10, n_packets=60,
+            warmup_s=4.0, drain_s=4.0, seed=9)
+
+
+def test_bench_protocol_family(benchmark):
+    def run_all():
+        rows = []
+        for protocol in PROTOCOLS:
+            summary = build_network(
+                ScenarioConfig(protocol=protocol, **BASE)
+            ).run()
+            rows.append({
+                "protocol": protocol,
+                "delivery": summary.delivery_ratio,
+                "delay (ms)": (summary.avg_delay_s or 0) * 1e3,
+                "retx": summary.avg_retx_ratio,
+                "txoh": summary.avg_txoh_ratio,
+                "drops": summary.total_drops,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Reliable multicast MAC family "
+                                   "(static, 20 nodes, 10 pkt/s)"))
+    by = {row["protocol"]: row for row in rows}
+    # Positive-feedback ARQ protocols all deliver on a static network.
+    for protocol in ("rmac", "bmmm", "lamm", "bmw", "lbp"):
+        assert by[protocol]["delivery"] > 0.9, protocol
+    # RMAC: cheapest control machinery of the reliable protocols.
+    for protocol in ("bmmm", "lamm", "bmw"):
+        assert by[protocol]["txoh"] > by["rmac"]["txoh"], protocol
+    # LAMM's covered RTS phase undercuts BMMM.
+    assert by["lamm"]["txoh"] < by["bmmm"]["txoh"]
+    # MX cannot certify: no retransmissions despite imperfect delivery.
+    assert by["mx"]["delivery"] < 1.0

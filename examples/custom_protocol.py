@@ -1,0 +1,97 @@
+"""Plug in a custom MAC protocol and run it through the paper's workload.
+
+Usage::
+
+    python examples/custom_protocol.py
+
+Defines **RMAC-NoRBT**, an ablated RMAC whose receivers never raise the
+Receiver Busy Tone (the sender still waits T_wf_rbt but transmits the
+data frame unconditionally), registers it under the experiment harness,
+and compares it against real RMAC on the same seeds. The delta isolates
+the contribution of RBT's hidden-terminal protection -- the paper's
+central mechanism.
+"""
+
+from repro import ScenarioConfig, build_network, register_protocol
+from repro.core import RmacConfig, RmacProtocol
+from repro.experiments.report import format_table
+
+
+class RmacNoRbt(RmacProtocol):
+    """RMAC with the Receiver Busy Tone disabled (ablation)."""
+
+    NAME = "rmac-norbt"
+
+    def _handle_mrts(self, mrts):
+        # Receivers accept the MRTS but never turn RBT on: hidden nodes
+        # are free to collide with the data frame.
+        if self.node_id not in mrts.receivers:
+            return
+        from repro.core.states import RmacState
+
+        if self.state not in (RmacState.IDLE, RmacState.BACKOFF):
+            return
+        self._rx_mrts = mrts
+        self._rx_index = mrts.index_of(self.node_id)
+        self._rx_first_bit = False
+        self._set_state(RmacState.WF_RDATA)
+        self._twf_rdata.start(self.config.twf_rdata)
+        # NOTE: no self.radio.tone_on(ToneType.RBT)
+
+    def _on_twf_rbt_expired(self):
+        # Without RBT there is nothing to detect; transmit unconditionally.
+        from repro.core.states import RmacState
+        from repro.mac.addresses import BROADCAST
+        from repro.mac.frames import DataFrame
+
+        assert self.state is RmacState.WF_RBT
+        txn = self._txn
+        frame = DataFrame(
+            src=self.node_id, dst=BROADCAST, seq=txn.seq,
+            payload_bytes=txn.request.payload_bytes, reliable=True,
+            payload=txn.request.payload, overhead=self.config.data_overhead,
+        )
+        self._set_state(RmacState.TX_RDATA)
+        self.stats.count_tx("RDATA")
+        self._current_tx = self.radio.transmit(frame)
+
+    def _receiver_finish(self, success):
+        # The base implementation turns RBT off; here it was never on.
+        self._twf_rdata.cancel()
+        self._rx_mrts = None
+        self._rx_index = -1
+        self._rx_first_bit = False
+        self._enter_contention(draw=False)
+
+
+def factory(node_id, testbed, rng, overrides):
+    config = RmacConfig(phy=testbed.phy, **overrides)
+    return RmacNoRbt(node_id, testbed.sim, testbed.radios[node_id], rng,
+                     config, tracer=testbed.tracer)
+
+
+def main() -> None:
+    register_protocol("rmac-norbt", factory)
+
+    # An elongated plain produces deep forwarding chains -- the classic
+    # hidden-terminal geometry -- and the high rate keeps the chain busy.
+    base = ScenarioConfig(n_nodes=30, width=520, height=90, rate_pps=60,
+                          n_packets=150, seed=5)
+    rows = []
+    for protocol in ("rmac", "rmac-norbt"):
+        summary = build_network(base.variant(protocol=protocol)).run()
+        rows.append({
+            "protocol": protocol,
+            "delivery": summary.delivery_ratio,
+            "retx ratio": summary.avg_retx_ratio,
+            "drops": summary.total_drops,
+            "avg delay (ms)": (summary.avg_delay_s or 0) * 1000,
+        })
+    print(format_table(rows, title="Ablating the Receiver Busy Tone"))
+    print("\nWithout RBT, hidden terminals collide with data frames: the "
+          "retransmission\nratio jumps and delay/drops follow -- the "
+          "mechanism behind the paper's Fig. 10.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Emergency-rescue scenario: reliable multicast under mobility.
+
+Usage::
+
+    python examples/emergency_rescue.py [--fast]
+
+The paper motivates RMAC with ad hoc networks like "emergency rescue
+networks": a coordinator (node 0) streams orders to a moving team, and
+every hop must be reliable. This example runs the same moving-team
+workload under RMAC, BMMM and BMW and prints the paper's headline
+metrics side by side -- the mobile version of Figs. 7/9/11.
+
+``--fast`` shrinks the run for a quick demo.
+"""
+
+import sys
+
+from repro import ScenarioConfig, build_network
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    base = ScenarioConfig(
+        n_nodes=20 if fast else 40,
+        width=250 if fast else 365,
+        height=150 if fast else 220,
+        mobile=True,
+        min_speed=0.0,
+        max_speed=4.0,       # rescuers on foot (the paper's "speed 1")
+        pause_s=10.0,
+        rate_pps=10,
+        n_packets=40 if fast else 150,
+        payload_bytes=500,
+        seed=21,
+    )
+
+    rows = []
+    for protocol in ("rmac", "bmmm", "bmw"):
+        config = base.variant(protocol=protocol)
+        print(f"running {protocol} ({config.n_nodes} rescuers, "
+              f"{config.n_packets} orders)...")
+        summary = build_network(config).run()
+        rows.append({
+            "protocol": protocol,
+            "orders delivered": f"{(summary.delivery_ratio or 0) * 100:.1f}%",
+            "avg latency (ms)": (summary.avg_delay_s or 0) * 1000,
+            "retransmission ratio": summary.avg_retx_ratio,
+            "control overhead": summary.avg_txoh_ratio,
+            "drops": summary.total_drops,
+        })
+
+    print()
+    print(format_table(rows, title="Moving rescue team: reliable multicast "
+                                   "MAC comparison"))
+    print("\nExpected shape (paper Figs. 7, 9, 11): RMAC delivers the most "
+          "orders,\nfastest, with a fraction of the control overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP-517 editable installs fail; this classic setup.py keeps
+``pip install -e .`` working through the legacy develop path. All project
+metadata lives in pyproject.toml and is mirrored here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'RMAC: A Reliable Multicast MAC Protocol for "
+        "Wireless Ad Hoc Networks' (Si & Li, ICPP 2004)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,66 @@
+"""repro -- a reproduction of "RMAC: A Reliable Multicast MAC Protocol for
+Wireless Ad Hoc Networks" (Weisheng Si and Chengzhi Li, ICPP 2004).
+
+The package contains everything the paper's evaluation needs, built from
+scratch:
+
+* a deterministic discrete-event engine (:mod:`repro.sim`);
+* a wireless PHY with a shared data channel, per-receiver collision
+  bookkeeping and the two narrow-band busy-tone channels RMAC introduces
+  (:mod:`repro.phy`);
+* the RMAC protocol itself (:mod:`repro.core`) plus the comparison
+  protocols: IEEE 802.11 DCF, BMMM, BMW, LBP and an 802.11MX-style
+  receiver-initiated variant (:mod:`repro.mac`);
+* the paper's workload: a simplified BLESS tree and single-source tree
+  multicast over 75 mobile nodes (:mod:`repro.net`, :mod:`repro.mobility`,
+  :mod:`repro.world`);
+* metrics and an experiment harness regenerating Figs. 6-13
+  (:mod:`repro.metrics`, :mod:`repro.experiments`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import ScenarioConfig, build_network
+
+    summary = build_network(ScenarioConfig(
+        protocol="rmac", n_nodes=40, rate_pps=10, n_packets=100, seed=1,
+    )).run()
+    print(summary.delivery_ratio)
+"""
+
+from repro.core import RmacConfig, RmacProtocol
+from repro.experiments import run_point, run_sweep
+from repro.mac.base import BROADCAST, MacProtocol, SendOutcome, SendRequest
+from repro.metrics import MetricsCollector, RunSummary, summarize
+from repro.sim import Simulator
+from repro.world.network import (
+    Network,
+    PROTOCOLS,
+    ScenarioConfig,
+    build_network,
+    register_protocol,
+)
+from repro.world.testbed import MacTestbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RmacConfig",
+    "RmacProtocol",
+    "run_point",
+    "run_sweep",
+    "BROADCAST",
+    "MacProtocol",
+    "SendOutcome",
+    "SendRequest",
+    "MetricsCollector",
+    "RunSummary",
+    "summarize",
+    "Simulator",
+    "Network",
+    "PROTOCOLS",
+    "ScenarioConfig",
+    "build_network",
+    "register_protocol",
+    "MacTestbed",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Closed-form analytic models (Sections 2/3.4), per-hop capacity floors,
+and the paper-claim validation bands."""
+
+from repro.analysis.capacity import (
+    bmmm_transaction_time,
+    max_forwarding_rate,
+    rmac_transaction_time,
+    saturation_rate,
+)
+from repro.analysis.validation import CLAIMS, all_pass, validate
+from repro.analysis.overhead import (
+    abt_detection_time,
+    bmmm_control_overhead,
+    bmw_transaction_time,
+    max_receivers_per_mrts,
+    mrts_bytes,
+    rmac_control_overhead,
+    rmac_min_exchange_time,
+)
+
+__all__ = [
+    "abt_detection_time",
+    "bmmm_control_overhead",
+    "bmw_transaction_time",
+    "max_receivers_per_mrts",
+    "mrts_bytes",
+    "rmac_control_overhead",
+    "rmac_min_exchange_time",
+    "bmmm_transaction_time",
+    "max_forwarding_rate",
+    "rmac_transaction_time",
+    "saturation_rate",
+    "CLAIMS",
+    "all_pass",
+    "validate",
+]

@@ -1,0 +1,171 @@
+"""The paper's quantitative claims, encoded as checkable bands.
+
+Section 4 and the conclusion make concrete claims ("R_deliv is close to
+1 when stationary", "R_txoh is around 0.2 in case of stationary nodes",
+"the MRTS length ... is less than 74 bytes in most cases", ...). This
+module turns each into a :class:`Claim` with an explicit tolerance band,
+so a sweep can be *validated* mechanically — `python -m repro validate`
+prints a pass/fail table, and regressions in the protocol implementation
+surface as claim failures rather than silently shifted numbers.
+
+Bands are deliberately wider than the paper's point values: they encode
+the claim's *shape* (orderings and magnitudes) at bench scale, per the
+reproduction brief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.runner import SweepResult
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable claim from the paper."""
+
+    claim_id: str
+    source: str          # where the paper states it
+    statement: str       # the claim, paraphrased
+    check: Callable[[Dict[tuple, SweepResult]], Optional[bool]]
+
+    def evaluate(self, points: Dict[tuple, SweepResult]) -> Optional[bool]:
+        """True/False, or None when the sweep lacks the needed points."""
+        try:
+            return self.check(points)
+        except KeyError:
+            return None
+
+
+def _points_by_key(results: Sequence[SweepResult]) -> Dict[tuple, SweepResult]:
+    return {(r.protocol, r.scenario, r.rate_pps): r for r in results}
+
+
+def _stationary(points, protocol, metric):
+    values = [v[metric] for (p, s, _), v in points.items()
+              if p == protocol and s == "stationary" and v[metric] is not None]
+    if not values:
+        raise KeyError("no stationary points")
+    return values
+
+
+def _mobile(points, protocol, metric):
+    values = [v[metric] for (p, s, _), v in points.items()
+              if p == protocol and s in ("speed1", "speed2")
+              and v[metric] is not None]
+    if not values:
+        raise KeyError("no mobile points")
+    return values
+
+
+def _paired(points, scenario_filter, metric):
+    pairs = []
+    for (p, s, r), v in points.items():
+        if p != "rmac" or not scenario_filter(s):
+            continue
+        other = points.get(("bmmm", s, r))
+        if other is not None and v[metric] is not None and other[metric] is not None:
+            pairs.append((v[metric], other[metric]))
+    if not pairs:
+        raise KeyError("no paired points")
+    return pairs
+
+
+CLAIMS: List[Claim] = [
+    Claim(
+        "deliv-static",
+        "Fig. 7a / Conclusion",
+        "stationary R_deliv close to 1 for RMAC",
+        lambda pts: min(_stationary(pts, "rmac", "delivery_ratio")) > 0.95,
+    ),
+    Claim(
+        "deliv-mobile-ordering",
+        "Fig. 7b,c / Conclusion",
+        "mobile R_deliv drops but stays above BMMM's",
+        lambda pts: all(r >= b for r, b in _paired(
+            pts, lambda s: s != "stationary", "delivery_ratio"))
+        and max(_mobile(pts, "rmac", "delivery_ratio")) < 0.99,
+    ),
+    Claim(
+        "drop-static",
+        "Fig. 8a",
+        "stationary R_drop tiny for RMAC (paper: ~0.003 at 120 pkt/s)",
+        lambda pts: max(_stationary(pts, "rmac", "avg_drop_ratio")) < 0.02,
+    ),
+    Claim(
+        "delay-ordering",
+        "Fig. 9",
+        "RMAC's end-to-end delay below BMMM's everywhere",
+        lambda pts: all(r < b for r, b in _paired(
+            pts, lambda s: True, "avg_delay_s")),
+    ),
+    Claim(
+        "delay-bounded",
+        "Fig. 9 / Conclusion",
+        "RMAC's average delay under 2 s at every point",
+        lambda pts: max(_stationary(pts, "rmac", "avg_delay_s")
+                        + _mobile(pts, "rmac", "avg_delay_s")) < 2.0,
+    ),
+    Claim(
+        "retx-static",
+        "Fig. 10 / Conclusion",
+        "stationary R_retx low for RMAC (paper: <= 0.32)",
+        lambda pts: min(_stationary(pts, "rmac", "avg_retx_ratio")) < 0.45,
+    ),
+    Claim(
+        "retx-mobile",
+        "Fig. 10 / Conclusion",
+        "mobile R_retx around 1 for RMAC (paper: < 1.3)",
+        lambda pts: max(_mobile(pts, "rmac", "avg_retx_ratio")) < 2.0,
+    ),
+    Claim(
+        "txoh-static",
+        "Fig. 11 / Conclusion",
+        "stationary R_txoh around 0.2 for RMAC vs ~1.0 for BMMM",
+        lambda pts: max(_stationary(pts, "rmac", "avg_txoh_ratio")) < 0.4
+        and all(b > 2 * r for r, b in _paired(
+            pts, lambda s: s == "stationary", "avg_txoh_ratio")),
+    ),
+    Claim(
+        "txoh-mobile",
+        "Conclusion",
+        "mobile R_txoh below ~1.1 for RMAC",
+        lambda pts: max(_mobile(pts, "rmac", "avg_txoh_ratio")) < 1.3,
+    ),
+    Claim(
+        "mrts-short",
+        "Fig. 12 / Conclusion",
+        "MRTS average short, 99% under 74 bytes",
+        lambda pts: max(_stationary(pts, "rmac", "mrts_len_avg")
+                        + _mobile(pts, "rmac", "mrts_len_avg")) < 74
+        and max(_stationary(pts, "rmac", "mrts_len_p99")) <= 74,
+    ),
+    Claim(
+        "abort-rare",
+        "Fig. 13 / Conclusion",
+        "MRTS abortion rare (paper: avg < 0.0035 stationary)",
+        lambda pts: max(_stationary(pts, "rmac", "abort_avg")
+                        + _mobile(pts, "rmac", "abort_avg")) < 0.02,
+    ),
+]
+
+
+def validate(results: Sequence[SweepResult]) -> List[dict]:
+    """Evaluate every claim against a sweep; returns printable rows."""
+    points = _points_by_key(results)
+    rows = []
+    for claim in CLAIMS:
+        verdict = claim.evaluate(points)
+        rows.append({
+            "claim": claim.claim_id,
+            "source": claim.source,
+            "statement": claim.statement,
+            "verdict": {True: "PASS", False: "FAIL", None: "n/a"}[verdict],
+        })
+    return rows
+
+
+def all_pass(rows: Sequence[dict]) -> bool:
+    """True if no claim failed (n/a rows do not count as failures)."""
+    return all(row["verdict"] != "FAIL" for row in rows)

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      one scenario, printed summary (the quickstart as a command).
+``figure``   regenerate a paper figure (fig7..fig13) at a chosen scale.
+``topology`` Fig. 6 tree statistics over random placements.
+``fig4``     the Fig. 4 handshake trace.
+``protocols`` list the registered MAC protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table, rows_to_csv
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import PAPER_RATES, SCENARIOS, paper_scenario, scaled_scenario
+from repro.world.network import PROTOCOLS, ScenarioConfig, build_network
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        protocol=args.protocol,
+        n_nodes=args.nodes,
+        width=args.width,
+        height=args.height,
+        mobile=args.speed > 0,
+        max_speed=args.speed or 4.0,
+        pause_s=args.pause,
+        rate_pps=args.rate,
+        n_packets=args.packets,
+        seed=args.seed,
+    )
+    network = build_network(config)
+    summary = network.run()
+    rows = [{"metric": k, "value": v} for k, v in [
+        ("delivery ratio", summary.delivery_ratio),
+        ("avg delay (s)", summary.avg_delay_s),
+        ("drop ratio", summary.avg_drop_ratio),
+        ("retransmission ratio", summary.avg_retx_ratio),
+        ("tx overhead ratio", summary.avg_txoh_ratio),
+        ("MRTS avg bytes", summary.mrts_len_avg),
+        ("MRTS abort ratio", summary.abort_avg),
+    ]]
+    print(format_table(rows, title=f"{args.protocol}: {args.nodes} nodes, "
+                                   f"{args.rate} pkt/s, seed {args.seed}"))
+    return 0
+
+
+#: (n_nodes, n_packets, rates, seeds) per --scale choice.
+FIGURE_SCALES = {
+    "small": (25, 60, (10, 60, 120), (1, 2)),
+    "medium": (40, 150, (5, 20, 60, 120), (1, 2, 3)),
+    "paper": (75, 10_000, PAPER_RATES, tuple(range(1, 11))),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    spec = FIGURES[args.figure]
+    n_nodes, n_packets, rates, seeds = FIGURE_SCALES[args.scale]
+
+    def make_config(protocol, scenario, rate, seed):
+        if args.scale == "paper":
+            return paper_scenario(protocol, scenario, rate, seed)
+        return scaled_scenario(protocol, scenario, rate, seed,
+                               n_packets=n_packets, n_nodes=n_nodes)
+
+    results = run_sweep(list(spec.protocols), list(SCENARIOS), list(rates),
+                        list(seeds), make_config, workers=args.workers)
+    rows = figure_rows(spec, results)
+    print(format_table(rows, title=spec.title))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(rows_to_csv(rows))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    import random
+
+    import numpy as np
+
+    from repro.net.tree import bfs_tree, tree_statistics
+    from repro.world.placement import random_placement
+
+    rows = []
+    for seed in range(args.placements):
+        rng = random.Random(args.seed + seed)
+        coords = random_placement(args.nodes, 500, 300, rng)
+        stats = tree_statistics(bfs_tree(coords, 75.0))
+        stats["seed"] = args.seed + seed
+        rows.append(stats)
+    print(format_table(rows, title=f"Fig. 6 statistics over "
+                                   f"{args.placements} placements"))
+    mean_hops = float(np.mean([r["avg_hops"] for r in rows]))
+    mean_children = float(np.mean([r["avg_children"] for r in rows]))
+    print(f"means: hops {mean_hops:.2f} (paper 3.87), "
+          f"children {mean_children:.2f} (paper 3.54)")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.core import RmacConfig, RmacProtocol
+    from repro.world.testbed import MacTestbed
+
+    tb = MacTestbed(coords=[(0, 0), (50, 0), (0, 50)], seed=7, trace=True)
+    config = RmacConfig(phy=tb.phy)
+    tb.build_macs(lambda i, t: RmacProtocol(i, t.sim, t.radios[i],
+                                            t.node_rng(i), config,
+                                            tracer=t.tracer))
+    tb.macs[0].send_reliable((1, 2), payload="fig4", payload_bytes=500)
+    tb.run(50_000_000)
+    print(tb.tracer.render())
+    return 0
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    for name in sorted(PROTOCOLS):
+        print(name)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import all_pass, validate
+
+    n_nodes, n_packets, rates, seeds = FIGURE_SCALES[args.scale]
+
+    def make_config(protocol, scenario, rate, seed):
+        if args.scale == "paper":
+            return paper_scenario(protocol, scenario, rate, seed)
+        return scaled_scenario(protocol, scenario, rate, seed,
+                               n_packets=n_packets, n_nodes=n_nodes)
+
+    results = run_sweep(["rmac", "bmmm"], list(SCENARIOS), list(rates),
+                        list(seeds), make_config, workers=args.workers)
+    rows = validate(results)
+    print(format_table(rows, title="Paper-claim validation"))
+    return 0 if all_pass(rows) else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import Campaign
+
+    n_nodes, n_packets, rates, seeds = FIGURE_SCALES[args.scale]
+
+    def make_config(protocol, scenario, rate, seed):
+        if args.scale == "paper":
+            return paper_scenario(protocol, scenario, rate, seed)
+        return scaled_scenario(protocol, scenario, rate, seed,
+                               n_packets=n_packets, n_nodes=n_nodes)
+
+    campaign = Campaign(args.store)
+    results = campaign.run(
+        args.protocols.split(","), list(SCENARIOS), list(rates),
+        list(seeds), make_config,
+        progress=lambda key, done, total: print(f"[{done}/{total}] {key}"),
+    )
+    for figure in sorted(FIGURES):
+        spec = FIGURES[figure]
+        rows = figure_rows(spec, results)
+        print(format_table(rows, title=f"{figure}: {spec.title}"))
+    print(f"campaign store: {args.store} ({len(campaign)} points)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("--protocol", default="rmac", choices=sorted(PROTOCOLS))
+    run.add_argument("--nodes", type=int, default=25)
+    run.add_argument("--width", type=float, default=290.0)
+    run.add_argument("--height", type=float, default=175.0)
+    run.add_argument("--rate", type=float, default=10.0)
+    run.add_argument("--packets", type=int, default=100)
+    run.add_argument("--speed", type=float, default=0.0,
+                     help="max waypoint speed m/s (0 = stationary)")
+    run.add_argument("--pause", type=float, default=10.0)
+    run.add_argument("--seed", type=int, default=1)
+    run.set_defaults(func=_cmd_run)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("figure", choices=sorted(FIGURES))
+    fig.add_argument("--scale", choices=("small", "medium", "paper"),
+                     default="small")
+    fig.add_argument("--workers", type=int, default=0)
+    fig.add_argument("--csv")
+    fig.set_defaults(func=_cmd_figure)
+
+    topo = sub.add_parser("topology", help="Fig. 6 tree statistics")
+    topo.add_argument("--nodes", type=int, default=75)
+    topo.add_argument("--placements", type=int, default=10)
+    topo.add_argument("--seed", type=int, default=1000)
+    topo.set_defaults(func=_cmd_topology)
+
+    fig4 = sub.add_parser("fig4", help="print the Fig. 4 handshake trace")
+    fig4.set_defaults(func=_cmd_fig4)
+
+    protocols = sub.add_parser("protocols", help="list registered protocols")
+    protocols.set_defaults(func=_cmd_protocols)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run (or resume) a checkpointed sweep and print every figure",
+    )
+    campaign.add_argument("store", help="JSON checkpoint file")
+    campaign.add_argument("--scale", choices=sorted(FIGURE_SCALES), default="small")
+    campaign.add_argument("--protocols", default="rmac,bmmm",
+                          help="comma-separated protocol names")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the RMAC-vs-BMMM sweep and check every paper claim",
+    )
+    validate.add_argument("--scale", choices=sorted(FIGURE_SCALES),
+                          default="small")
+    validate.add_argument("--workers", type=int, default=0)
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,552 @@
+"""The RMAC protocol engine (Section 3.3 and the appendix).
+
+One :class:`RmacProtocol` instance runs per node. It implements:
+
+* the backoff procedure of Section 3.3.1 -- BI/CW in slot units, the
+  countdown sensing *both* the data channel and the RBT channel each
+  slot, suspension without redraw when either is busy, and a backoff
+  after every completed transmission or drop;
+* the Reliable Send procedure of Section 3.3.2 -- MRTS addressing an
+  ordered receiver list, receivers raising RBT and waiting ``Twf_rdata``
+  for the first bit of data, the sender waiting ``Twf_rbt`` for RBT,
+  collision-free data under RBT protection, ordered ABT response windows,
+  and selective retransmission via a reconstructed MRTS;
+* abort-on-RBT for MRTS and unreliable data transmissions (steps 3 of
+  Sections 3.3.2/3.3.3), the mechanism behind Fig. 13;
+* the Unreliable Send procedure of Section 3.3.3;
+* the Section 3.4 refinement splitting large receiver sets across
+  multiple invocations separated by backoff.
+
+The node state always holds one of the appendix's eight
+:class:`~repro.core.states.RmacState` values and every change is checked
+against the Fig. 14 transition table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import RmacConfig
+from repro.core.mrts import build_mrts, split_receivers
+from repro.core.states import RmacState, valid_transition
+from repro.mac.addresses import BROADCAST, MULTICAST_FLAG
+from repro.mac.backoff import Backoff
+from repro.mac.base import MacProtocol, SendRequest
+from repro.mac.frames import DataFrame, MrtsFrame
+from repro.phy.busytone import ToneType
+from repro.phy.channel import Transmission
+from repro.phy.radio import Radio
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.timers import Timer
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class _ReliableTransaction:
+    """Sender-side state for one Reliable Send request."""
+
+    request: SendRequest
+    chunks: List[Tuple[int, ...]]
+    seq: int
+    chunk_index: int = 0
+    pending: List[int] = field(default_factory=list)
+    acked: List[int] = field(default_factory=list)
+    failed: List[int] = field(default_factory=list)
+    #: Failed attempts of the *current* chunk (abort / no RBT / missing ABTs).
+    failures: int = 0
+    #: MRTS transmissions started for the current chunk.
+    attempts: int = 0
+    drop_counted: bool = False
+
+    def load_chunk(self) -> None:
+        self.pending = list(self.chunks[self.chunk_index])
+        self.failures = 0
+        self.attempts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.chunk_index >= len(self.chunks)
+
+
+class RmacProtocol(MacProtocol):
+    """RMAC: reliable + unreliable send over busy tones."""
+
+    NAME = "rmac"
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: Radio,
+        rng: random.Random,
+        config: Optional[RmacConfig] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.config = config or RmacConfig()
+        super().__init__(
+            node_id,
+            sim,
+            radio,
+            rng,
+            queue_capacity=self.config.queue_capacity,
+            tracer=tracer,
+        )
+        phy = self.config.phy
+        self.state = RmacState.IDLE
+        self.backoff = Backoff(rng, phy.cw_min, phy.cw_max)
+        self.multicast_groups: set[int] = set()
+
+        # Sender-side context.
+        self._txn: Optional[_ReliableTransaction] = None
+        self._current_tx: Optional[Transmission] = None
+        self._rbt_window_start: int = 0
+        self._abt_check_event: Optional[EventHandle] = None
+        self._seq = 0
+
+        # Receiver-side context.
+        self._rx_mrts: Optional[MrtsFrame] = None
+        self._rx_index: int = -1
+        self._rx_first_bit = False
+        self._twf_rdata = Timer(sim, self._on_twf_rdata_expired, "Twf_rdata")
+        self._twf_rbt = Timer(sim, self._on_twf_rbt_expired, "Twf_rbt")
+
+        self._pump_handle: Optional[EventHandle] = None
+        self._idle_wait_pending = False
+        self._pending_unreliable: Optional[SendRequest] = None
+
+    # ==================================================================
+    # State bookkeeping
+    # ==================================================================
+    def _set_state(self, new: RmacState) -> None:
+        if new is self.state:
+            return
+        assert valid_transition(self.state, new), (
+            f"node {self.node_id}: illegal transition {self.state.value} -> {new.value}"
+        )
+        self.tracer.emit(self.sim.now, self.node_id, "state", frm=self.state.value, to=new.value)
+        self.state = new
+
+    def _channels_idle(self) -> bool:
+        """Both the data channel and the RBT channel are idle (3.3.1)."""
+        return not self.radio.data_busy() and not self.radio.tone_present(ToneType.RBT)
+
+    def _has_work(self) -> bool:
+        return self._txn is not None or bool(self.queue)
+
+    # ==================================================================
+    # The backoff pump (Section 3.3.1)
+    # ==================================================================
+    def _kick(self) -> None:
+        if self._pump_handle is None and self.state in (RmacState.IDLE, RmacState.BACKOFF):
+            # Backoff condition (1): "a node has a packet to transmit, but
+            # either data or RBT channel is busy" invokes the backoff
+            # procedure, i.e. draws a fresh BI. A zero idle duration means
+            # the channel was busy at this very instant (typically: the
+            # packet was handed down at the end of a reception) -- without
+            # the draw, sibling receivers of the same multicast would all
+            # start forwarding simultaneously and collide forever.
+            if self.backoff.bi == 0 and (
+                not self._channels_idle() or self.radio.data_idle_duration() == 0
+            ):
+                self.backoff.draw()
+            # C1/C10 allow an immediate transmission when BI is 0 and the
+            # channels are idle, so the first tick runs now, not a slot later.
+            self._pump_handle = self.sim.call_soon(self._tick, label="rmac-pump")
+
+    def _ensure_pump(self, delay: int) -> None:
+        if self._pump_handle is None:
+            self._pump_handle = self.sim.after(delay, self._tick, label="rmac-pump")
+
+    def _tick(self) -> None:
+        self._pump_handle = None
+        if self.state not in (RmacState.IDLE, RmacState.BACKOFF):
+            return  # a transaction owns the node; it will resume the pump
+        if self._channels_idle():
+            if self.backoff.bi > 0:
+                self._set_state(RmacState.BACKOFF)  # C8
+                self.backoff.decrement()
+            if self.backoff.bi == 0:
+                if self._has_work():
+                    # "When BI counts down to 0, the sender begins frame
+                    # transmission immediately."  (C6/C14, or C1/C10.)
+                    self._start_transmission()
+                    return
+                self._set_state(RmacState.IDLE)  # C9: nothing to send
+                return
+            self._ensure_pump(self.config.phy.slot_time)
+        else:
+            self._set_state(RmacState.IDLE)  # C9: suspended, BI kept
+            # Rather than polling every slot through a multi-millisecond
+            # busy period, sleep until the busy channel clears (the
+            # channels report the transition exactly), then resume the
+            # slotted countdown.
+            if self.backoff.bi > 0 or self._has_work():
+                self._wait_for_idle()
+
+    def _wait_for_idle(self) -> None:
+        if self._idle_wait_pending:
+            return
+        self._idle_wait_pending = True
+        if self.radio.data_busy():
+            self.radio._data.notify_idle(self.node_id, self._on_channel_cleared)
+        else:
+            self.radio.tone_channel(ToneType.RBT).notify_clear(
+                self.node_id, self._on_channel_cleared
+            )
+
+    def _on_channel_cleared(self) -> None:
+        # One of the two channels cleared; re-run the pump a slot later --
+        # the tick re-checks both and re-waits if the other is still busy.
+        self._idle_wait_pending = False
+        if self.state in (RmacState.IDLE, RmacState.BACKOFF) and (
+            self.backoff.bi > 0 or self._has_work()
+        ):
+            self._ensure_pump(self.config.phy.slot_time)
+
+    def _enter_contention(self, draw: bool) -> None:
+        """Return to IDLE/BACKOFF, optionally invoking the backoff draw."""
+        if draw:
+            self.backoff.draw()
+        if self.backoff.bi > 0 and self._channels_idle():
+            self._set_state(RmacState.BACKOFF)
+        else:
+            self._set_state(RmacState.IDLE)
+        if self.backoff.bi > 0 or self._has_work():
+            self._ensure_pump(self.config.phy.slot_time)
+
+    # ==================================================================
+    # Transmission start (pump reached BI == 0 with work queued)
+    # ==================================================================
+    def _start_transmission(self) -> None:
+        if self._txn is None:
+            request = self.queue.pop()
+            if request.reliable:
+                self._txn = _ReliableTransaction(
+                    request=request,
+                    chunks=split_receivers(request.receivers, self.config.max_receivers),
+                    seq=self._next_seq(),
+                )
+                self._txn.load_chunk()
+            else:
+                self._transmit_unreliable(request)
+                return
+        self._transmit_mrts()
+
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) & 0xFFFF
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Reliable Send, sender side (Section 3.3.2)
+    # ------------------------------------------------------------------
+    def _transmit_mrts(self) -> None:
+        txn = self._txn
+        assert txn is not None and txn.pending
+        mrts = build_mrts(self.node_id, txn.pending)
+        self._set_state(RmacState.TX_MRTS)  # C10 / C14
+        if txn.attempts > 0:
+            self.stats.retransmissions += 1
+        txn.attempts += 1
+        self.stats.mrts_transmissions += 1
+        self.stats.record_mrts_length(mrts.size_bytes)
+        self.stats.count_tx("MRTS")
+        self._current_tx = self.radio.transmit(mrts)
+        # Step 3: abort if an RBT is detected during the MRTS transmission.
+        self.radio.watch_tone(ToneType.RBT, self._on_rbt_detected_during_tx)
+
+    def _on_rbt_detected_during_tx(self, tone: ToneType) -> None:
+        if self.state not in (RmacState.TX_MRTS, RmacState.TX_UNRDATA):
+            return
+        tx = self._current_tx
+        if tx is None or self.radio.current_tx() is not tx:
+            return
+        self.radio.abort(tx)  # on_tx_complete(aborted=True) fires inside
+
+    def _on_twf_rbt_expired(self) -> None:
+        assert self.state is RmacState.WF_RBT
+        detected = (
+            self.radio.tone_longest_presence(
+                ToneType.RBT, self._rbt_window_start, self.sim.now
+            )
+            >= self.config.detect_time
+        )
+        txn = self._txn
+        assert txn is not None
+        if detected:
+            # C18: at least one receiver is ready; send the data frame.
+            frame = DataFrame(
+                src=self.node_id,
+                dst=BROADCAST,
+                seq=txn.seq,
+                payload_bytes=txn.request.payload_bytes,
+                reliable=True,
+                payload=txn.request.payload,
+                overhead=self.config.data_overhead,
+            )
+            self._set_state(RmacState.TX_RDATA)
+            self.stats.count_tx("RDATA")
+            self._current_tx = self.radio.transmit(frame)
+        else:
+            # C12/C15: nobody heard the MRTS; back off and retransmit.
+            self.tracer.emit(self.sim.now, self.node_id, "no-rbt")
+            self._attempt_failed()
+
+    def _begin_abt_check(self, data_tx_end: int) -> None:
+        """Cycle ``Twf_abt`` n times; evaluate every window at the end.
+
+        The sender is passive throughout WF_ABT, so a single event at the
+        end of the last window that inspects each window's tone-presence
+        history is equivalent to the paper's per-window timer cycling.
+        """
+        txn = self._txn
+        assert txn is not None
+        n = len(txn.pending)
+        end = data_tx_end + n * self.config.l_abt
+        self._abt_check_event = self.sim.at(end, self._on_abt_windows_done, label="Twf_abt")
+
+    def _on_abt_windows_done(self) -> None:
+        self._abt_check_event = None
+        assert self.state is RmacState.WF_ABT
+        txn = self._txn
+        assert txn is not None
+        n = len(txn.pending)
+        l_abt = self.config.l_abt
+        start = self.sim.now - n * l_abt
+        self.stats.abt_check_time += n * l_abt
+        still_pending: List[int] = []
+        for i, receiver in enumerate(txn.pending):
+            t0 = start + i * l_abt
+            t1 = t0 + l_abt
+            presence = self.radio.tone_longest_presence(ToneType.ABT, t0, t1)
+            if presence >= self.config.detect_time:
+                txn.acked.append(receiver)
+                self.tracer.emit(self.sim.now, self.node_id, "abt-heard", receiver=receiver)
+            else:
+                still_pending.append(receiver)
+        txn.pending = still_pending
+        if not txn.pending:
+            self._chunk_succeeded()
+        else:
+            self.tracer.emit(
+                self.sim.now, self.node_id, "abt-missing", receivers=tuple(still_pending)
+            )
+            self._attempt_failed()
+
+    def _chunk_succeeded(self) -> None:
+        txn = self._txn
+        assert txn is not None
+        self.backoff.reset_cw()
+        txn.chunk_index += 1
+        self._advance_transaction()
+
+    def _attempt_failed(self) -> None:
+        """A Reliable Send attempt failed (abort, no RBT, or missing ABTs)."""
+        txn = self._txn
+        assert txn is not None
+        txn.failures += 1
+        if txn.failures > self.config.retry_limit:
+            # "If this limit is exceeded, the frame will be dropped."
+            txn.failed.extend(txn.pending)
+            txn.pending = []
+            if not txn.drop_counted:
+                txn.drop_counted = True
+                self.stats.packets_dropped += 1
+            self.tracer.emit(self.sim.now, self.node_id, "drop", seq=txn.seq)
+            self.backoff.reset_cw()
+            txn.chunk_index += 1
+            self._advance_transaction()
+        else:
+            self.backoff.double_cw()
+            self._enter_contention(draw=True)
+
+    def _advance_transaction(self) -> None:
+        """Move to the next chunk or complete the request."""
+        txn = self._txn
+        assert txn is not None
+        if txn.exhausted:
+            self._txn = None
+            if not txn.failed:
+                self.stats.packets_delivered += 1
+            self._complete(
+                txn.request,
+                acked=tuple(txn.acked),
+                failed=tuple(txn.failed),
+                dropped=txn.drop_counted,
+            )
+        else:
+            txn.load_chunk()
+            txn.seq = self._next_seq()
+        # Backoff separates invocations and successive transmissions alike.
+        self._enter_contention(draw=True)
+
+    # ------------------------------------------------------------------
+    # Unreliable Send (Section 3.3.3)
+    # ------------------------------------------------------------------
+    def _transmit_unreliable(self, request: SendRequest) -> None:
+        frame = DataFrame(
+            src=self.node_id,
+            dst=request.receivers[0],
+            seq=self._next_seq(),
+            payload_bytes=request.payload_bytes,
+            reliable=False,
+            payload=request.payload,
+            overhead=self.config.data_overhead,
+        )
+        self._set_state(RmacState.TX_UNRDATA)  # C1 / C6
+        self._pending_unreliable = request
+        self.stats.count_tx("UDATA")
+        self._current_tx = self.radio.transmit(frame)
+        # Step 2 of 3.3.3: abort if RBT is sensed during the transmission.
+        self.radio.watch_tone(ToneType.RBT, self._on_rbt_detected_during_tx)
+
+    # ==================================================================
+    # Radio callbacks
+    # ==================================================================
+    def on_tx_complete(self, frame: object, aborted: bool) -> None:
+        tx = self._current_tx
+        self._current_tx = None
+        duration = (tx.end - tx.start) if tx is not None else 0
+        if isinstance(frame, MrtsFrame):
+            self.radio.unwatch_tone(ToneType.RBT)
+            self.stats.control_tx_time += duration
+            if aborted:
+                # C11: abortion counts as a failed attempt and retransmits.
+                self.stats.mrts_aborted += 1
+                self.tracer.emit(self.sim.now, self.node_id, "mrts-abort")
+                self._attempt_failed()
+            else:
+                self._set_state(RmacState.WF_RBT)  # C17
+                self._rbt_window_start = self.sim.now
+                self._twf_rbt.start(self.config.twf_rbt)
+        elif isinstance(frame, DataFrame) and frame.reliable:
+            self.stats.data_tx_time += duration
+            self._set_state(RmacState.WF_ABT)  # C19
+            self._begin_abt_check(self.sim.now)
+        elif isinstance(frame, DataFrame):
+            self.radio.unwatch_tone(ToneType.RBT)
+            request = self._pending_unreliable
+            self._pending_unreliable = None
+            if aborted:
+                self.stats.unreliable_aborted += 1
+            else:
+                self.stats.unreliable_sent += 1
+            # C2/C5 with the condition-(3) backoff draw.
+            self._complete(request, acked=(), failed=(), dropped=aborted)
+            self._enter_contention(draw=True)
+
+    def on_rx_start(self, sender: int) -> None:
+        if self.state is RmacState.WF_RDATA and not self._rx_first_bit:
+            # "If the first bit of the data frame arrives before Twf_rdata
+            # expires, it cancels the timer and the RBT continues until the
+            # end of the data frame reception."
+            self._rx_first_bit = True
+            self._twf_rdata.cancel()
+
+    def on_frame_received(self, frame: object, sender: int) -> None:
+        if isinstance(frame, MrtsFrame):
+            self.stats.count_rx("MRTS")
+            if self.node_id in frame.receivers:
+                # Only MRTSs naming this node count toward its R_txoh
+                # (overheard MRTSs belong to other transactions).
+                self.stats.control_rx_time += self.radio.frame_airtime(frame)
+            self._handle_mrts(frame)
+        elif isinstance(frame, DataFrame) and frame.reliable:
+            self._handle_reliable_data(frame)
+        elif isinstance(frame, DataFrame):
+            self._handle_unreliable_data(frame)
+
+    def on_frame_error(self, sender: int) -> None:
+        if self.state is RmacState.WF_RDATA and self._rx_first_bit:
+            # The protected data frame was corrupted anyway (e.g. truncated
+            # by an aborting neighbor); give up, no ABT.
+            self.tracer.emit(self.sim.now, self.node_id, "rdata-error")
+            self._receiver_finish(success=False)
+
+    # ------------------------------------------------------------------
+    # Reliable Send, receiver side
+    # ------------------------------------------------------------------
+    def _handle_mrts(self, mrts: MrtsFrame) -> None:
+        if self.node_id not in mrts.receivers:
+            return  # no NAV in RMAC: other nodes simply ignore the MRTS
+        if self.state not in (RmacState.IDLE, RmacState.BACKOFF):
+            return  # busy as a sender or already committed as a receiver
+        self._rx_mrts = mrts
+        self._rx_index = mrts.index_of(self.node_id)
+        self._rx_first_bit = False
+        self._set_state(RmacState.WF_RDATA)  # C3
+        self.radio.tone_on(ToneType.RBT)
+        self.tracer.emit(self.sim.now, self.node_id, "rbt-on-rx", index=self._rx_index)
+        self._twf_rdata.start(self.config.twf_rdata)
+
+    def _on_twf_rdata_expired(self) -> None:
+        assert self.state is RmacState.WF_RDATA
+        self.tracer.emit(self.sim.now, self.node_id, "rdata-timeout")
+        self._receiver_finish(success=False)
+
+    def _handle_reliable_data(self, frame: DataFrame) -> None:
+        if self.state is not RmacState.WF_RDATA:
+            return  # overheard reliable data we are not a receiver of
+        mrts = self._rx_mrts
+        assert mrts is not None
+        if frame.src != mrts.transmitter:
+            # Protected window violated by a foreign reliable frame; the
+            # expected frame is gone. Give up without acknowledging.
+            self._receiver_finish(success=False)
+            return
+        self.stats.count_rx("RDATA")
+        index = self._rx_index
+        l_abt = self.config.l_abt
+        # Step 4: reply an ABT in the slot given by the MRTS ordering.
+        delay = index * l_abt
+        self.tracer.emit(self.sim.now, self.node_id, "abt-scheduled", index=index)
+        pulse = _AbtPulse(self.radio, l_abt)
+        if delay == 0:
+            pulse()
+        else:
+            self.sim.after(delay, pulse, label="Ttx_abt")
+        self._receiver_finish(success=True)
+        self.deliver_up(frame.payload, frame.src)
+
+    def _receiver_finish(self, success: bool) -> None:
+        self._twf_rdata.cancel()
+        if self.radio.tone_emitting(ToneType.RBT):
+            self.radio.tone_off(ToneType.RBT)
+        self._rx_mrts = None
+        self._rx_index = -1
+        self._rx_first_bit = False
+        # C4/C7: back to contention; BI is kept (receiving is not a
+        # transmission, so no new backoff draw).
+        self._enter_contention(draw=False)
+
+    # ------------------------------------------------------------------
+    # Unreliable Send, receiver side
+    # ------------------------------------------------------------------
+    def _handle_unreliable_data(self, frame: DataFrame) -> None:
+        accept = False
+        if frame.dst == self.node_id or frame.dst == BROADCAST:
+            accept = True
+        elif frame.dst == MULTICAST_FLAG:
+            group = getattr(frame.payload, "group", None)
+            accept = group in self.multicast_groups
+        if accept:
+            self.stats.count_rx("UDATA")
+            self.deliver_up(frame.payload, frame.src)
+
+
+class _AbtPulse:
+    """Deferred ABT pulse (bound callable, cheaper than a closure)."""
+
+    __slots__ = ("radio", "duration")
+
+    def __init__(self, radio: Radio, duration: int):
+        self.radio = radio
+        self.duration = duration
+
+    def __call__(self) -> None:
+        # A pathological overlap of transactions could leave the previous
+        # pulse still on; skipping (rather than crashing) loses one ABT,
+        # which the sender treats as a missing acknowledgment and retries.
+        if not self.radio.tone_emitting(ToneType.ABT):
+            self.radio.tone_pulse(ToneType.ABT, self.duration)

@@ -1,0 +1,28 @@
+"""Experiment harness: the paper's scenarios, sweep runner and figures."""
+
+from repro.experiments.scenarios import (
+    PAPER_RATES,
+    SCENARIOS,
+    paper_scenario,
+    scaled_scenario,
+)
+from repro.experiments.campaign import Campaign
+from repro.experiments.runner import SweepResult, run_point, run_sweep
+from repro.experiments.figures import FIGURES, FigureSpec, figure_rows
+from repro.experiments.report import format_table, rows_to_csv
+
+__all__ = [
+    "Campaign",
+    "PAPER_RATES",
+    "SCENARIOS",
+    "paper_scenario",
+    "scaled_scenario",
+    "SweepResult",
+    "run_point",
+    "run_sweep",
+    "FIGURES",
+    "FigureSpec",
+    "figure_rows",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,113 @@
+"""Checkpointed experiment campaigns.
+
+A paper-scale sweep (480 runs at 10 000 packets) takes hours in pure
+Python; a campaign persists every finished point to a JSON file so the
+sweep can be interrupted and resumed, and the analysis notebooks can load
+partial results. Results are keyed by (protocol, scenario, rate, seed) and
+a fingerprint of the scenario config, so a changed configuration never
+silently reuses stale points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import SweepResult, aggregate, run_point
+from repro.metrics.summary import RunSummary
+from repro.world.network import ScenarioConfig
+
+
+def _config_fingerprint(config: ScenarioConfig) -> str:
+    payload = asdict(config)
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _point_key(protocol: str, scenario: str, rate: float, seed: int) -> str:
+    return f"{protocol}|{scenario}|{rate}|{seed}"
+
+
+class Campaign:
+    """A resumable sweep persisted to a JSON file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._store: Dict[str, dict] = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                self._store = json.load(fh)
+
+    # ------------------------------------------------------------------
+    def _save(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self._store, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        protocols: Sequence[str],
+        scenarios: Sequence[str],
+        rates: Sequence[float],
+        seeds: Sequence[int],
+        make_config: Callable[[str, str, float, int], ScenarioConfig],
+        progress: Optional[Callable[[str, int, int], None]] = None,
+    ) -> List[SweepResult]:
+        """Run (or resume) the matrix; every completed point is flushed to
+        disk immediately. Returns aggregated sweep results."""
+        matrix: List[Tuple[str, str, float, int]] = [
+            (p, sc, r, se)
+            for p in protocols for sc in scenarios for r in rates for se in seeds
+        ]
+        done = 0
+        for protocol, scenario, rate, seed in matrix:
+            key = _point_key(protocol, scenario, rate, seed)
+            config = make_config(protocol, scenario, rate, seed)
+            fingerprint = _config_fingerprint(config)
+            entry = self._store.get(key)
+            if entry is None or entry["fingerprint"] != fingerprint:
+                summary = run_point(config)
+                self._store[key] = {
+                    "fingerprint": fingerprint,
+                    "summary": asdict(summary),
+                }
+                self._save()
+            done += 1
+            if progress is not None:
+                progress(key, done, len(matrix))
+        return self.aggregate(protocols, scenarios, rates, seeds)
+
+    def aggregate(
+        self,
+        protocols: Sequence[str],
+        scenarios: Sequence[str],
+        rates: Sequence[float],
+        seeds: Sequence[int],
+    ) -> List[SweepResult]:
+        """Aggregate stored points (only points present are used)."""
+        results: List[SweepResult] = []
+        for protocol in protocols:
+            for scenario in scenarios:
+                for rate in rates:
+                    summaries = []
+                    for seed in seeds:
+                        entry = self._store.get(_point_key(protocol, scenario, rate, seed))
+                        if entry is not None:
+                            summaries.append(RunSummary(**entry["summary"]))
+                    if summaries:
+                        results.append(aggregate(protocol, scenario, rate, summaries))
+        return results

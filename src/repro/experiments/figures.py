@@ -1,0 +1,100 @@
+"""One entry per paper figure: which metric, which protocols, how plotted.
+
+``figure_rows`` turns sweep results into the rows the paper's figure
+shows -- one row per (scenario, rate) with one column per protocol/series
+-- so a bench or example can print exactly what Fig. N plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import SweepResult
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """A paper figure reproduced by the harness."""
+
+    figure: str
+    title: str
+    #: metric key(s) in SweepResult.values, with display labels.
+    series: Tuple[Tuple[str, str], ...]
+    #: protocols plotted ("rmac"/"bmmm") -- Figs. 12/13 are RMAC-only.
+    protocols: Tuple[str, ...]
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    "fig7": FigureSpec(
+        "fig7",
+        "Packet Delivery Ratio",
+        (("delivery_ratio", "R_deliv"),),
+        ("rmac", "bmmm"),
+    ),
+    "fig8": FigureSpec(
+        "fig8",
+        "Average Packet Drop Ratio",
+        (("avg_drop_ratio", "R_drop"),),
+        ("rmac", "bmmm"),
+    ),
+    "fig9": FigureSpec(
+        "fig9",
+        "Average End-to-End Delay (seconds)",
+        (("avg_delay_s", "D"),),
+        ("rmac", "bmmm"),
+    ),
+    "fig10": FigureSpec(
+        "fig10",
+        "Average Packet Retransmission Ratio",
+        (("avg_retx_ratio", "R_retx"),),
+        ("rmac", "bmmm"),
+    ),
+    "fig11": FigureSpec(
+        "fig11",
+        "Average Transmission Overhead Ratio",
+        (("avg_txoh_ratio", "R_txoh"),),
+        ("rmac", "bmmm"),
+    ),
+    "fig12": FigureSpec(
+        "fig12",
+        "Length of MRTS (bytes)",
+        (
+            ("mrts_len_avg", "Average"),
+            ("mrts_len_max", "Maximum"),
+            ("mrts_len_p99", "99 Percentile"),
+        ),
+        ("rmac",),
+    ),
+    "fig13": FigureSpec(
+        "fig13",
+        "MRTS Abortion Ratio",
+        (
+            ("abort_avg", "Average"),
+            ("abort_max", "Maximum"),
+            ("abort_p99", "99 Percentile"),
+        ),
+        ("rmac",),
+    ),
+}
+
+
+def figure_rows(spec: FigureSpec, results: Sequence[SweepResult]) -> List[dict]:
+    """Rows of (scenario, rate, <series per protocol>) for one figure."""
+    wanted = [r for r in results if r.protocol in spec.protocols]
+    keys = sorted({(r.scenario, r.rate_pps) for r in wanted})
+    rows: List[dict] = []
+    for scenario, rate in keys:
+        row: dict = {"scenario": scenario, "rate_pps": rate}
+        for result in wanted:
+            if result.scenario != scenario or result.rate_pps != rate:
+                continue
+            for metric, label in spec.series:
+                column = (
+                    f"{result.protocol}:{label}"
+                    if len(spec.protocols) > 1
+                    else label
+                )
+                row[column] = result[metric]
+        rows.append(row)
+    return rows

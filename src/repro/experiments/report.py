@@ -1,0 +1,54 @@
+"""Plain-text tables and CSV output for figure rows."""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], title: Optional[str] = None) -> str:
+    """Render rows (dicts sharing keys) as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in cells)) for i in range(len(columns))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in cells:
+        out.write("  ".join(v.ljust(w) for v, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Sequence[dict]) -> str:
+    """Render rows as CSV (header from union of keys, insertion order)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        out.write(",".join(_fmt(row.get(c)) for c in columns) + "\n")
+    return out.getvalue()

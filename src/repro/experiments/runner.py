@@ -1,0 +1,115 @@
+"""Sweep runner: executes scenario points, optionally in parallel.
+
+A *point* is (protocol, scenario, rate); each point runs over several
+seeds (the paper: ten random placements, identical across protocols so
+the comparison is paired) and the summaries are averaged.
+
+Multiprocessing: each run is an independent process-safe function of its
+config, so ``run_sweep(..., workers=N)`` fans points x seeds over a
+process pool. Per the hpc guidance, runs are CPU-bound pure Python, so
+processes (not threads) are the right lever.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.summary import RunSummary
+from repro.world.network import ScenarioConfig, build_network
+
+
+def run_point(config: ScenarioConfig) -> RunSummary:
+    """Build and run one scenario; returns its summary."""
+    return build_network(config).run()
+
+
+#: RunSummary fields averaged across seeds (None values are skipped).
+_MEAN_FIELDS = (
+    "delivery_ratio",
+    "avg_delay_s",
+    "avg_drop_ratio",
+    "avg_retx_ratio",
+    "avg_txoh_ratio",
+    "mrts_len_avg",
+    "abort_avg",
+)
+#: Fields combined with max / pooled p99 semantics.
+_MAX_FIELDS = ("mrts_len_max", "max_delay_s", "abort_max")
+_P99_FIELDS = ("mrts_len_p99", "abort_p99")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Seed-averaged metrics for one (protocol, scenario, rate) point."""
+
+    protocol: str
+    scenario: str
+    rate_pps: float
+    n_seeds: int
+    values: Dict[str, Optional[float]]
+    per_seed: Tuple[RunSummary, ...]
+
+    def __getitem__(self, key: str) -> Optional[float]:
+        return self.values[key]
+
+
+def aggregate(
+    protocol: str, scenario: str, rate_pps: float, summaries: Sequence[RunSummary]
+) -> SweepResult:
+    """Average per-seed summaries into one sweep point."""
+    values: Dict[str, Optional[float]] = {}
+    for name in _MEAN_FIELDS + _P99_FIELDS:
+        samples = [getattr(s, name) for s in summaries if getattr(s, name) is not None]
+        values[name] = sum(samples) / len(samples) if samples else None
+    for name in _MAX_FIELDS:
+        samples = [getattr(s, name) for s in summaries if getattr(s, name) is not None]
+        values[name] = max(samples) if samples else None
+    return SweepResult(
+        protocol=protocol,
+        scenario=scenario,
+        rate_pps=rate_pps,
+        n_seeds=len(summaries),
+        values=values,
+        per_seed=tuple(summaries),
+    )
+
+
+def run_sweep(
+    protocols: Sequence[str],
+    scenarios: Sequence[str],
+    rates: Sequence[float],
+    seeds: Sequence[int],
+    make_config,
+    workers: int = 0,
+) -> List[SweepResult]:
+    """Run the full matrix and aggregate per point.
+
+    ``make_config(protocol, scenario, rate, seed) -> ScenarioConfig`` lets
+    callers choose paper-scale or bench-scale runs. ``workers > 1`` uses a
+    process pool.
+    """
+    jobs: List[Tuple[str, str, float, ScenarioConfig]] = []
+    for protocol in protocols:
+        for scenario in scenarios:
+            for rate in rates:
+                for seed in seeds:
+                    jobs.append(
+                        (protocol, scenario, rate, make_config(protocol, scenario, rate, seed))
+                    )
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            summaries = list(pool.map(run_point, [j[3] for j in jobs]))
+    else:
+        summaries = [run_point(j[3]) for j in jobs]
+
+    results: List[SweepResult] = []
+    index = 0
+    for protocol in protocols:
+        for scenario in scenarios:
+            for rate in rates:
+                chunk = summaries[index : index + len(seeds)]
+                index += len(seeds)
+                results.append(aggregate(protocol, scenario, rate, chunk))
+    return results

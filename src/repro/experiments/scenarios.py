@@ -1,0 +1,80 @@
+"""The paper's experiment matrix (Section 4.1).
+
+Three mobility scenarios x eight source rates x two protocols, ten random
+placements each, 10 000 packets of 500 bytes per run, on 75 nodes over
+500 m x 300 m with 75 m range at 2 Mb/s.
+
+Full paper scale takes hours in pure Python, so two presets exist:
+
+* :func:`paper_scenario` -- the exact Section 4.1 parameters;
+* :func:`scaled_scenario` -- the same network and rates with fewer
+  packets/seeds, used by the committed benchmarks (each bench documents
+  its scale). Shapes -- orderings, crossovers -- are preserved; absolute
+  confidence intervals are wider.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.world.network import ScenarioConfig
+
+#: The paper's eight source rates (packets/second).
+PAPER_RATES: Tuple[int, ...] = (5, 10, 20, 40, 60, 80, 100, 120)
+
+#: The three mobility scenarios of Section 4.1.2.
+SCENARIOS: Dict[str, dict] = {
+    "stationary": dict(mobile=False),
+    "speed1": dict(mobile=True, min_speed=0.0, max_speed=4.0, pause_s=10.0),
+    "speed2": dict(mobile=True, min_speed=0.0, max_speed=8.0, pause_s=5.0),
+}
+
+
+def paper_scenario(
+    protocol: str,
+    scenario: str,
+    rate_pps: float,
+    seed: int,
+    n_packets: int = 10_000,
+) -> ScenarioConfig:
+    """One run at the paper's full parameters."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; have {sorted(SCENARIOS)}")
+    return ScenarioConfig(
+        protocol=protocol,
+        n_nodes=75,
+        width=500.0,
+        height=300.0,
+        radio_range=75.0,
+        rate_pps=rate_pps,
+        n_packets=n_packets,
+        payload_bytes=500,
+        seed=seed,
+        **SCENARIOS[scenario],
+    )
+
+
+def scaled_scenario(
+    protocol: str,
+    scenario: str,
+    rate_pps: float,
+    seed: int,
+    n_packets: int = 300,
+    n_nodes: int = 75,
+) -> ScenarioConfig:
+    """The bench-scale variant: fewer packets, and (optionally) fewer
+    nodes on a proportionally smaller plain so node density -- and with
+    it contention and tree depth per hop -- matches the paper's."""
+    config = paper_scenario(protocol, scenario, rate_pps, seed, n_packets=n_packets)
+    if n_nodes != config.n_nodes:
+        shrink = (n_nodes / config.n_nodes) ** 0.5
+        config = config.variant(
+            n_nodes=n_nodes,
+            width=config.width * shrink,
+            height=config.height * shrink,
+            # Scale speeds with the plain so relative mobility (meters
+            # moved per radio range per second) matches the paper's.
+            min_speed=config.min_speed * shrink,
+            max_speed=config.max_speed * shrink,
+        )
+    return config

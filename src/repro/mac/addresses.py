@@ -1,0 +1,15 @@
+"""Address sentinels shared across the MAC layer."""
+
+from __future__ import annotations
+
+#: The broadcast address (all one-hop neighbors).
+BROADCAST: int = -1
+
+#: Sentinel marking a multicast-group-addressed unreliable data frame;
+#: the actual group id travels in the frame's payload object.
+MULTICAST_FLAG: int = -2
+
+
+def is_unicast(address: int) -> bool:
+    """True for a concrete node address (not broadcast / multicast)."""
+    return address >= 0

@@ -1,0 +1,59 @@
+"""The backoff state of Section 3.3.1.
+
+Every node keeps two variables, both in units of slot times:
+
+* ``BI`` (Backoff Interval) -- the remaining deferral, persisted across
+  suspensions (a busy channel pauses the countdown without redrawing);
+* ``CW`` (Contention Window) -- doubled (up to ``cw_max``) on failed
+  transmissions, reset to ``cw_min`` on success, and used to initialize
+  BI uniformly in ``[0, CW]``.
+
+The per-slot countdown loop itself lives in each protocol (RMAC senses
+data + RBT channels; the 802.11 family senses data + NAV), so this class
+only owns the variables, the draw, and the CW dynamics.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class Backoff:
+    """CW/BI bookkeeping shared by RMAC and the 802.11-family protocols."""
+
+    def __init__(self, rng: random.Random, cw_min: int = 31, cw_max: int = 1023):
+        if cw_min < 0 or cw_max < cw_min:
+            raise ValueError(f"invalid contention window bounds [{cw_min}, {cw_max}]")
+        self._rng = rng
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.cw = cw_min
+        self.bi = 0
+        #: Number of draws performed (instrumentation).
+        self.draws = 0
+
+    def draw(self) -> int:
+        """Set BI to a uniform random slot count in ``[0, CW]`` and return it."""
+        self.bi = self._rng.randint(0, self.cw)
+        self.draws += 1
+        return self.bi
+
+    def decrement(self) -> None:
+        """Count one idle slot down (clamped at zero)."""
+        if self.bi > 0:
+            self.bi -= 1
+
+    @property
+    def expired(self) -> bool:
+        return self.bi == 0
+
+    def double_cw(self) -> None:
+        """Exponential increase after a failed transmission."""
+        self.cw = min(self.cw_max, 2 * self.cw + 1)
+
+    def reset_cw(self) -> None:
+        """Reset after a successful transmission or a frame drop."""
+        self.cw = self.cw_min
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Backoff BI={self.bi} CW={self.cw}>"

@@ -1,0 +1,232 @@
+"""The MAC service interface shared by RMAC and the baselines.
+
+RMAC (Section 3.3) exposes two services -- **Reliable Send** and
+**Unreliable Send** -- each covering unicast, multicast and broadcast.
+The same surface is implemented by every protocol in this repository, so
+the network layer and the experiment harness are protocol-agnostic:
+
+* ``send_reliable(receivers, payload, payload_bytes)`` -- receivers is an
+  explicit tuple (one address = unicast; the whole neighbor set =
+  reliable broadcast);
+* ``send_unreliable(dst, payload, payload_bytes)`` -- dst is a node id,
+  BROADCAST, or a multicast group sentinel.
+
+Requests are queued in a FIFO :class:`TransmitQueue` (unbounded by
+default, per the paper's loss model) and completed with a
+:class:`SendOutcome`, which the network layer and the metrics collectors
+observe.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.mac.addresses import BROADCAST, MULTICAST_FLAG, is_unicast
+from repro.mac.stats import MacStats
+from repro.phy.radio import Radio, RadioListener
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "BROADCAST",
+    "MULTICAST_FLAG",
+    "SendRequest",
+    "SendOutcome",
+    "TransmitQueue",
+    "MacProtocol",
+]
+
+
+@dataclass
+class SendRequest:
+    """One queued MAC transmission request."""
+
+    payload: object
+    payload_bytes: int
+    reliable: bool
+    #: Reliable: ordered tuple of receiver node ids.
+    #: Unreliable: single-element tuple holding the frame's dst address.
+    receivers: Tuple[int, ...]
+    enqueued_at: int = 0
+    on_complete: Optional[Callable[["SendOutcome"], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("negative payload size")
+        if self.reliable:
+            if not self.receivers:
+                raise ValueError("reliable send needs at least one receiver")
+            if len(set(self.receivers)) != len(self.receivers):
+                raise ValueError("duplicate receivers in reliable send")
+            if any(not is_unicast(r) for r in self.receivers):
+                raise ValueError("reliable receivers must be concrete node ids")
+        else:
+            if len(self.receivers) != 1:
+                raise ValueError("unreliable send takes exactly one dst address")
+
+
+@dataclass(frozen=True)
+class SendOutcome:
+    """Completion report for a :class:`SendRequest`."""
+
+    request: SendRequest
+    #: Receivers confirmed (reliable) -- empty for unreliable sends.
+    acked: Tuple[int, ...]
+    #: Receivers still unconfirmed when the retry limit hit (reliable).
+    failed: Tuple[int, ...]
+    #: True if the frame was dropped (retry exhaustion or queue overflow).
+    dropped: bool
+    completed_at: int = 0
+
+
+class TransmitQueue:
+    """FIFO transmit queue with an optional capacity cap."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._items: deque[SendRequest] = deque()
+        self.capacity = capacity
+        self.enqueued = 0
+        self.overflowed = 0
+
+    def push(self, request: SendRequest) -> bool:
+        """Enqueue; returns False (and counts an overflow) if full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.overflowed += 1
+            return False
+        self._items.append(request)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> SendRequest:
+        return self._items.popleft()
+
+    def peek(self) -> SendRequest:
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class MacProtocol(RadioListener, ABC):
+    """Base class for every MAC protocol in the repository.
+
+    Subclasses implement the channel-access machinery and frame handling;
+    this base owns the queue, stats, upper-layer delivery and the service
+    entry points.
+    """
+
+    #: Human-readable protocol name (used in reports).
+    NAME = "mac"
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: Radio,
+        rng: random.Random,
+        queue_capacity: Optional[int] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.radio = radio
+        self.rng = rng
+        self.tracer = tracer
+        self.queue = TransmitQueue(queue_capacity)
+        self.stats = MacStats(node_id=node_id)
+        #: Upper-layer receive callback: (payload, src_node) -> None.
+        self.upper_rx: Optional[Callable[[object, int], None]] = None
+        radio.attach(self)
+
+    # ------------------------------------------------------------------
+    # Service entry points (the paper's Reliable / Unreliable Send)
+    # ------------------------------------------------------------------
+    def send_reliable(
+        self,
+        receivers: Tuple[int, ...],
+        payload: object,
+        payload_bytes: int,
+        on_complete: Optional[Callable[[SendOutcome], None]] = None,
+    ) -> bool:
+        """Queue a Reliable Send to an explicit, ordered receiver set.
+
+        Unicast = one receiver; reliable broadcast = the caller's full
+        one-hop neighbor set (the paper folds all three modes into the
+        address sequence this way).
+        """
+        request = SendRequest(
+            payload=payload,
+            payload_bytes=payload_bytes,
+            reliable=True,
+            receivers=tuple(receivers),
+            enqueued_at=self.sim.now,
+            on_complete=on_complete,
+        )
+        return self._enqueue(request)
+
+    def send_unreliable(
+        self,
+        dst: int,
+        payload: object,
+        payload_bytes: int,
+        on_complete: Optional[Callable[[SendOutcome], None]] = None,
+    ) -> bool:
+        """Queue an Unreliable Send (one shot, no recovery)."""
+        request = SendRequest(
+            payload=payload,
+            payload_bytes=payload_bytes,
+            reliable=False,
+            receivers=(dst,),
+            enqueued_at=self.sim.now,
+            on_complete=on_complete,
+        )
+        return self._enqueue(request)
+
+    def _enqueue(self, request: SendRequest) -> bool:
+        if request.reliable:
+            self.stats.packets_offered += 1
+        if not self.queue.push(request):
+            self.stats.queue_drops += 1
+            self._complete(request, acked=(), failed=request.receivers, dropped=True)
+            return False
+        self._kick()
+        return True
+
+    def _complete(
+        self,
+        request: SendRequest,
+        acked: Tuple[int, ...],
+        failed: Tuple[int, ...],
+        dropped: bool,
+    ) -> None:
+        if request.on_complete is not None:
+            outcome = SendOutcome(
+                request=request,
+                acked=acked,
+                failed=failed,
+                dropped=dropped,
+                completed_at=self.sim.now,
+            )
+            request.on_complete(outcome)
+
+    def deliver_up(self, payload: object, src: int) -> None:
+        """Hand a received payload to the network layer."""
+        if self.upper_rx is not None:
+            self.upper_rx(payload, src)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _kick(self) -> None:
+        """Ensure the protocol engine is running (queue just got work)."""
+
+    def start(self) -> None:
+        """Called once when the simulation begins (default: nothing)."""

@@ -1,0 +1,292 @@
+"""BMMM -- Batch Mode Multicast MAC (Sun et al., ICPP 2002; paper Fig. 1b).
+
+One reliable transmission of a data frame to ``n`` receivers costs, after
+a single contention phase:
+
+    RTS_1/CTS_1 ... RTS_n/CTS_n, DATA, RAK_1/ACK_1 ... RAK_n/ACK_n
+
+all SIFS-separated. RTS and RAK solicit CTS and ACK from each receiver
+individually (serializing the feedback -- BMMM's answer to the feedback
+collision problem RMAC solves with ordered ABTs). Receivers whose CTS or
+ACK never arrived stay in the pending set; the round is repeated after a
+backoff with doubled CW, up to the retry limit. Section 2 of the paper
+works out the cost: 2n control-frame pairs at 632 n us per data frame.
+
+Design notes (the BMMM paper leaves these open; choices documented here):
+
+* the sender proceeds past a missing CTS after a timeout rather than
+  aborting the round, and still RAKs that receiver (it may have caught
+  the broadcast data anyway) -- both choices favor BMMM;
+* receivers reply CTS to an RTS naming them regardless of NAV, since
+  earlier CTS exchanges of the *same* transaction would otherwise block
+  every receiver after the first;
+* unreliable sends are one-shot broadcasts exactly as in 802.11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mac.addresses import BROADCAST
+from repro.mac.base import SendRequest
+from repro.mac.dot11 import Dot11Base
+from repro.mac.frames import (
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    RakFrame,
+    RtsFrame,
+)
+from repro.sim.units import US
+
+
+class BmmmProtocol(Dot11Base):
+    """Batch Mode Multicast MAC."""
+
+    NAME = "bmmm"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._request: Optional[SendRequest] = None
+        self._pending: List[int] = []
+        self._acked: List[int] = []
+        self._failures = 0
+        self._seq = 0
+        self._phase = "idle"
+        self._round_receivers: List[int] = []
+        self._round_index = 0
+        self._round_cts: Dict[int, bool] = {}
+        self._round_ack: Dict[int, bool] = {}
+        self._retx_counted = False
+        # Receiver side: per-sender buffered data frame awaiting RAK.
+        self._rx_buffer: Dict[int, DataFrame] = {}
+        self._rx_expect: Dict[int, bool] = {}
+
+    def _has_work(self) -> bool:
+        return self._request is not None or super()._has_work()
+
+    # ==================================================================
+    # Sender side
+    # ==================================================================
+    def _begin_txn(self) -> None:
+        if self._request is None:
+            request = self.queue.pop()
+            self._request = request
+            self._seq = (self._seq + 1) & 0xFFFF
+            self._failures = 0
+            self._acked = []
+            self._pending = list(request.receivers) if request.reliable else []
+            self._retx_counted = False
+        request = self._request
+        if not request.reliable:
+            frame = DataFrame(
+                src=self.node_id,
+                dst=request.receivers[0],
+                seq=self._seq,
+                payload_bytes=request.payload_bytes,
+                reliable=False,
+                payload=request.payload,
+                overhead=self.config.data_overhead,
+            )
+            self.stats.count_tx("UDATA")
+            self._phase = "tx-bcast"
+            self._send_frame(frame, self._on_broadcast_sent)
+            return
+        # Start one batch round over the still-pending receivers.
+        if self._failures > 0:
+            self.stats.retransmissions += 1
+        self._round_receivers = list(self._pending)
+        self._round_index = 0
+        self._round_cts = {}
+        self._round_ack = {}
+        self._phase = "rts"
+        self._send_next_rts()
+
+    def _on_broadcast_sent(self, frame: object, aborted: bool) -> None:
+        request = self._request
+        self._request = None
+        self._phase = "idle"
+        self.stats.unreliable_sent += 1
+        assert request is not None
+        self._complete(request, acked=(), failed=(), dropped=False)
+        self._end_txn()
+
+    # -- RTS/CTS sequence ------------------------------------------------
+    def _send_next_rts(self) -> None:
+        if self._round_index >= len(self._round_receivers):
+            self._phase = "data"
+            self.sim.after(self.config.phy.sifs, self._send_data, label="sifs-data")
+            return
+        receiver = self._round_receivers[self._round_index]
+        rts = RtsFrame(self.node_id, receiver, aux=self._nav_remaining_us())
+        self._send_frame(rts, self._on_rts_sent)
+
+    def _on_rts_sent(self, frame: object, aborted: bool) -> None:
+        self._phase = "wait-cts"
+        self._phase_timer.start(self.config.response_timeout(CtsFrame.SIZE))
+
+    def _handle_cts(self, frame: CtsFrame) -> None:
+        if self._phase != "wait-cts" or frame.receiver != self.node_id:
+            return
+        expected = self._round_receivers[self._round_index]
+        if frame.transmitter != expected:
+            return
+        self._phase_timer.cancel()
+        self._round_cts[expected] = True
+        self._advance_rts()
+
+    def _advance_rts(self) -> None:
+        self._round_index += 1
+        if self._round_index < len(self._round_receivers):
+            self._phase = "rts"
+            self.sim.after(self.config.phy.sifs, self._send_next_rts, label="sifs-rts")
+        else:
+            self._phase = "data"
+            self.sim.after(self.config.phy.sifs, self._send_data, label="sifs-data")
+
+    # -- DATA --------------------------------------------------------------
+    def _send_data(self) -> None:
+        if self.radio.is_transmitting:  # extremely rare; retry one SIFS later
+            self.sim.after(self.config.phy.sifs, self._send_data, label="sifs-data")
+            return
+        request = self._request
+        assert request is not None
+        frame = DataFrame(
+            src=self.node_id,
+            dst=BROADCAST,
+            seq=self._seq,
+            payload_bytes=request.payload_bytes,
+            reliable=True,
+            payload=request.payload,
+            overhead=self.config.data_overhead,
+        )
+        self.stats.count_tx("RDATA")
+        self._send_frame(frame, self._on_data_sent)
+
+    def _on_data_sent(self, frame: object, aborted: bool) -> None:
+        self._round_index = 0
+        self._phase = "rak"
+        self.sim.after(self.config.phy.sifs, self._send_next_rak, label="sifs-rak")
+
+    # -- RAK/ACK sequence ---------------------------------------------------
+    def _send_next_rak(self) -> None:
+        if self._round_index >= len(self._round_receivers):
+            self._finish_round()
+            return
+        if self.radio.is_transmitting:
+            self.sim.after(self.config.phy.sifs, self._send_next_rak, label="sifs-rak")
+            return
+        receiver = self._round_receivers[self._round_index]
+        rak = RakFrame(self.node_id, receiver, aux=self._seq)
+        self._send_frame(rak, self._on_rak_sent)
+
+    def _on_rak_sent(self, frame: object, aborted: bool) -> None:
+        self._phase = "wait-ack"
+        self._phase_timer.start(self.config.response_timeout(AckFrame.SIZE))
+
+    def _handle_ack(self, frame: AckFrame) -> None:
+        if self._phase != "wait-ack" or frame.receiver != self.node_id:
+            return
+        expected = self._round_receivers[self._round_index]
+        if frame.transmitter != expected:
+            return
+        self._phase_timer.cancel()
+        self._round_ack[expected] = True
+        self._advance_rak()
+
+    def _advance_rak(self) -> None:
+        self._round_index += 1
+        if self._round_index < len(self._round_receivers):
+            self._phase = "rak"
+            self.sim.after(self.config.phy.sifs, self._send_next_rak, label="sifs-rak")
+        else:
+            self._finish_round()
+
+    # -- round bookkeeping ---------------------------------------------------
+    def _on_phase_timeout(self) -> None:
+        if self._phase == "wait-cts":
+            self._advance_rts()  # missing CTS: proceed, receiver stays pending
+        elif self._phase == "wait-ack":
+            self._advance_rak()
+
+    def _finish_round(self) -> None:
+        request = self._request
+        assert request is not None
+        newly_acked = [r for r in self._round_receivers if self._round_ack.get(r)]
+        self._acked.extend(newly_acked)
+        self._pending = [r for r in self._pending if r not in self._round_ack]
+        if not self._pending:
+            self._phase = "idle"
+            self._request = None
+            self.backoff.reset_cw()
+            self.stats.packets_delivered += 1
+            self._complete(request, acked=tuple(self._acked), failed=(), dropped=False)
+            self._end_txn()
+            return
+        self._failures += 1
+        if self._failures > self.config.retry_limit:
+            self._phase = "idle"
+            self._request = None
+            self.stats.packets_dropped += 1
+            self.backoff.reset_cw()
+            self._complete(
+                request, acked=tuple(self._acked), failed=tuple(self._pending), dropped=True
+            )
+            self._end_txn()
+        else:
+            self._phase = "idle"
+            self.backoff.double_cw()
+            self._end_txn()  # re-contend; _begin_txn resumes the round
+
+    def _nav_remaining_us(self) -> int:
+        """Nominal remaining transaction time, for third-party NAVs."""
+        phy = self.config.phy
+        request = self._request
+        assert request is not None
+        n = len(self._round_receivers)
+        i = self._round_index
+        sifs = phy.sifs
+        cts = phy.frame_airtime(CtsFrame.SIZE)
+        rts = phy.frame_airtime(RtsFrame.SIZE)
+        rak = phy.frame_airtime(RakFrame.SIZE)
+        ack = phy.frame_airtime(AckFrame.SIZE)
+        data = phy.frame_airtime(request.payload_bytes + self.config.data_overhead)
+        remaining = (sifs + cts)  # the CTS answering this RTS
+        remaining += (n - i - 1) * (sifs + rts + sifs + cts)
+        remaining += sifs + data
+        remaining += n * (sifs + rak + sifs + ack)
+        return min(0xFFFF, remaining // US)
+
+    # ==================================================================
+    # Receiver side
+    # ==================================================================
+    def _handle_rts(self, frame: RtsFrame) -> None:
+        if frame.receiver != self.node_id:
+            return
+        if self.radio.is_transmitting:
+            return
+        # Part of a batch transaction: answer regardless of NAV (see
+        # module docstring), unless we are mid-transaction ourselves.
+        if self.in_txn:
+            return
+        self._rx_expect[frame.transmitter] = True
+        self._respond_after_sifs(CtsFrame(self.node_id, frame.transmitter))
+
+    def _handle_reliable_data(self, frame: DataFrame) -> None:
+        # Broadcast-addressed batch data: buffer it if we expect from this
+        # sender (RTS seen), or unconditionally -- a RAK may reveal that we
+        # were an intended receiver whose CTS phase failed.
+        self.stats.count_rx("RDATA")
+        self._rx_buffer[frame.src] = frame
+        if self._rx_expect.get(frame.src):
+            self._deliver_data(frame)
+
+    def _handle_rak(self, frame: RakFrame) -> None:
+        if frame.receiver != self.node_id:
+            return
+        buffered = self._rx_buffer.get(frame.transmitter)
+        if buffered is None or buffered.seq != frame.aux:
+            return  # nothing to acknowledge: stay silent
+        self._respond_after_sifs(AckFrame(self.node_id, frame.transmitter))
+        self._deliver_data(buffered)
+        self._rx_expect.pop(frame.transmitter, None)

@@ -1,0 +1,476 @@
+"""IEEE 802.11 DCF machinery and the plain DCF protocol.
+
+This is the substrate the paper's comparison protocols (BMMM, BMW, LBP)
+extend, simplified to what their evaluation exercises:
+
+* physical carrier sense plus NAV (virtual carrier sense) from the
+  duration field carried in RTS/CTS/DATA frames;
+* DIFS deferral, slotted backoff with CW doubling and post-transmission
+  backoff;
+* SIFS-separated response frames (CTS, ACK) that preempt contention;
+* the RTS/CTS/DATA/ACK exchange for reliable unicast and one-shot
+  transmission for broadcast.
+
+:class:`Dot11Base` owns contention and the receiver-side responder logic
+with overridable hooks; :class:`Dot11Dcf` adds the standard unicast
+transaction. BMMM/BMW/LBP subclass the base and replace the transaction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.mac.addresses import BROADCAST, MULTICAST_FLAG
+from repro.mac.backoff import Backoff
+from repro.mac.base import MacProtocol, SendRequest
+from repro.mac.frames import (
+    DOT11_DATA_OVERHEAD,
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    MrtsFrame,
+    NakFrame,
+    NctsFrame,
+    RakFrame,
+    RtsFrame,
+)
+from repro.phy.channel import Transmission
+from repro.phy.params import DEFAULT_PHY, PhyParams
+from repro.phy.radio import Radio
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.timers import Timer
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.sim.units import US
+
+#: Control frame classes whose airtime counts as control overhead.
+CONTROL_FRAMES = (RtsFrame, CtsFrame, AckFrame, RakFrame, NctsFrame, NakFrame, MrtsFrame)
+
+
+@dataclass(frozen=True)
+class Dot11Config:
+    """Parameters for the 802.11-family protocols."""
+
+    phy: PhyParams = field(default_factory=lambda: DEFAULT_PHY)
+    #: Retry limit per packet (802.11 short retry limit).
+    retry_limit: int = 7
+    queue_capacity: Optional[int] = None
+    #: MAC header + FCS bytes on data frames (802.11: 24 + 4).
+    data_overhead: int = DOT11_DATA_OVERHEAD
+    #: Extra slack added to CTS/ACK timeouts beyond SIFS + airtime + 2 tau.
+    response_guard: int = 2 * US
+    tau: int = 1 * US
+
+    def response_timeout(self, response_bytes: int) -> int:
+        """Timeout armed at the end of the soliciting frame's transmission."""
+        return (
+            self.phy.sifs
+            + self.phy.frame_airtime(response_bytes)
+            + 2 * self.tau
+            + self.response_guard
+        )
+
+
+class Dot11Base(MacProtocol):
+    """Shared DCF machinery: DIFS + backoff contention, NAV, responders."""
+
+    NAME = "dot11-base"
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        radio: Radio,
+        rng: random.Random,
+        config: Optional[Dot11Config] = None,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.config = config or Dot11Config()
+        super().__init__(
+            node_id,
+            sim,
+            radio,
+            rng,
+            queue_capacity=self.config.queue_capacity,
+            tracer=tracer,
+        )
+        phy = self.config.phy
+        self.backoff = Backoff(rng, phy.cw_min, phy.cw_max)
+        self.nav_until: int = 0
+        self.multicast_groups: set[int] = set()
+        self.in_txn = False
+        self._pump_handle: Optional[EventHandle] = None
+        self._idle_wait_pending = False
+        self._phase_timer = Timer(sim, self._on_phase_timeout, "phase")
+        self._tx_done_cb: Optional[Callable[[object, bool], None]] = None
+        self._response_queue: list[object] = []
+        #: last delivered data seq per source (duplicate suppression on
+        #: MAC-level retransmissions).
+        self._delivered_seq: Dict[int, int] = {}
+
+    # ==================================================================
+    # Contention pump (DIFS + slotted backoff)
+    # ==================================================================
+    def _medium_busy(self) -> bool:
+        return self.radio.data_busy() or self.nav_until > self.sim.now
+
+    def _idle_duration(self) -> int:
+        physical = self.radio.data_idle_duration()
+        if physical == 0:
+            return 0
+        virtual = self.sim.now - self.nav_until
+        return min(physical, max(0, virtual)) if self.nav_until > 0 else physical
+
+    def _has_work(self) -> bool:
+        return self.in_txn or bool(self.queue)
+
+    def _kick(self) -> None:
+        if self._pump_handle is None and not self.in_txn:
+            # 802.11: immediate access is allowed only if the medium has
+            # already been idle for DIFS when the frame arrives; otherwise
+            # the station must perform a backoff. Without the draw, sibling
+            # receivers forwarding the same multicast all fire at once.
+            if self.backoff.bi == 0 and self._idle_duration() < self.config.phy.difs:
+                self.backoff.draw()
+            self._pump_handle = self.sim.call_soon(self._tick, label="dcf-pump")
+
+    def _ensure_pump(self, delay: int) -> None:
+        if self._pump_handle is None:
+            self._pump_handle = self.sim.after(delay, self._tick, label="dcf-pump")
+
+    def _tick(self) -> None:
+        self._pump_handle = None
+        if self.in_txn:
+            return
+        phy = self.config.phy
+        if self.radio.is_transmitting:  # mid-response; try again next slot
+            self._ensure_pump(phy.slot_time)
+            return
+        if not self.backoff.bi > 0 and not self._has_work():
+            return  # nothing pending: pump stops
+        if not self._medium_busy():
+            idle_for = self._idle_duration()
+            if idle_for >= phy.difs:
+                if self.backoff.bi > 0:
+                    self.backoff.decrement()
+                if self.backoff.bi == 0 and self._has_work():
+                    self.in_txn = True
+                    self._begin_txn()
+                    return
+                if self.backoff.bi == 0:
+                    return  # countdown done, nothing to send
+                self._ensure_pump(phy.slot_time)
+            else:
+                # Physically idle but inside DIFS: check again right when
+                # the DIFS requirement could first be met.
+                self._ensure_pump(max(phy.slot_time, phy.difs - idle_for))
+            return
+        # Medium busy: sleep until the blocking condition lifts instead of
+        # polling every slot.
+        if self.radio.data_busy():
+            if not self._idle_wait_pending:
+                self._idle_wait_pending = True
+                self.radio._data.notify_idle(self.node_id, self._on_medium_cleared)
+        else:
+            # Virtual carrier only: the NAV expiry time is known exactly.
+            self._ensure_pump(max(phy.slot_time, self.nav_until - self.sim.now))
+
+    def _on_medium_cleared(self) -> None:
+        self._idle_wait_pending = False
+        if not self.in_txn and (self.backoff.bi > 0 or self._has_work()):
+            self._ensure_pump(self.config.phy.slot_time)
+
+    def _end_txn(self, draw: bool = True) -> None:
+        self.in_txn = False
+        self._phase_timer.cancel()
+        if draw:
+            self.backoff.draw()
+        if self.backoff.bi > 0 or self._has_work():
+            self._ensure_pump(self.config.phy.slot_time)
+
+    # ==================================================================
+    # Frame transmission helpers
+    # ==================================================================
+    def _send_frame(
+        self, frame: object, on_sent: Optional[Callable[[object, bool], None]] = None
+    ) -> Transmission:
+        self._tx_done_cb = on_sent
+        if not isinstance(frame, DataFrame):  # data counted as RDATA/UDATA
+            self.stats.count_tx(type(frame).__name__)
+        return self.radio.transmit(frame)
+
+    def _respond_after_sifs(self, frame: object) -> None:
+        """Queue a SIFS-separated response (CTS/ACK/...). Responses preempt
+        contention; if the radio is mid-transmission when the SIFS elapses
+        the response is dropped, as on real hardware."""
+        self.sim.after(self.config.phy.sifs, _Responder(self, frame), label="sifs-response")
+
+    def _emit_response(self, frame: object) -> None:
+        if self.radio.is_transmitting:
+            return
+        self._send_frame(frame, None)
+
+    def on_tx_complete(self, frame: object, aborted: bool) -> None:
+        duration = self.radio.frame_airtime(frame)
+        if isinstance(frame, CONTROL_FRAMES):
+            self.stats.control_tx_time += duration
+        elif isinstance(frame, DataFrame) and frame.reliable:
+            self.stats.data_tx_time += duration
+        callback = self._tx_done_cb
+        self._tx_done_cb = None
+        if callback is not None:
+            callback(frame, aborted)
+        if not self.in_txn and (self.backoff.bi > 0 or self._has_work()):
+            # e.g. a CTS/ACK response finished while our own traffic waits.
+            self._ensure_pump(self.config.phy.slot_time)
+
+    # ==================================================================
+    # Receive path
+    # ==================================================================
+    def on_frame_received(self, frame: object, sender: int) -> None:
+        addressed_to_me = getattr(frame, "receiver", None) == self.node_id or (
+            isinstance(frame, DataFrame) and frame.dst == self.node_id
+        )
+        if isinstance(frame, CONTROL_FRAMES):
+            self.stats.count_rx(type(frame).__name__)
+            if addressed_to_me:
+                # R_txoh counts control frames this node spends time
+                # *participating* in, not everything it overhears --
+                # otherwise dense neighborhoods inflate every node's
+                # overhead with other transactions' control traffic.
+                self.stats.control_rx_time += self.radio.frame_airtime(frame)
+        if not addressed_to_me:
+            self._update_nav(frame)
+        if isinstance(frame, RtsFrame):
+            self._handle_rts(frame)
+        elif isinstance(frame, CtsFrame):
+            self._handle_cts(frame)
+        elif isinstance(frame, AckFrame):
+            self._handle_ack(frame)
+        elif isinstance(frame, RakFrame):
+            self._handle_rak(frame)
+        elif isinstance(frame, NctsFrame):
+            self._handle_ncts(frame)
+        elif isinstance(frame, NakFrame):
+            self._handle_nak(frame)
+        elif isinstance(frame, DataFrame):
+            if frame.reliable:
+                self._handle_reliable_data(frame)
+            else:
+                self._handle_unreliable_data(frame)
+
+    def _update_nav(self, frame: object) -> None:
+        duration_us = getattr(frame, "aux", 0)
+        if isinstance(frame, DataFrame):
+            duration_us = 0  # our data frames carry no NAV in this model
+        if duration_us > 0:
+            self.nav_until = max(self.nav_until, self.sim.now + duration_us * US)
+
+    def _deliver_data(self, frame: DataFrame) -> None:
+        """Deliver with duplicate suppression keyed on (src, seq)."""
+        if self._delivered_seq.get(frame.src) == frame.seq:
+            return
+        self._delivered_seq[frame.src] = frame.seq
+        self.deliver_up(frame.payload, frame.src)
+
+    def _handle_unreliable_data(self, frame: DataFrame) -> None:
+        accept = frame.dst in (self.node_id, BROADCAST)
+        if frame.dst == MULTICAST_FLAG:
+            accept = getattr(frame.payload, "group", None) in self.multicast_groups
+        if accept:
+            self.stats.count_rx("UDATA")
+            self.deliver_up(frame.payload, frame.src)
+
+    # -- hooks for subclasses ------------------------------------------
+    def _begin_txn(self) -> None:
+        raise NotImplementedError
+
+    def _on_phase_timeout(self) -> None:
+        raise NotImplementedError
+
+    def _handle_rts(self, frame: RtsFrame) -> None:
+        pass
+
+    def _handle_cts(self, frame: CtsFrame) -> None:
+        pass
+
+    def _handle_ack(self, frame: AckFrame) -> None:
+        pass
+
+    def _handle_rak(self, frame: RakFrame) -> None:
+        pass
+
+    def _handle_ncts(self, frame: NctsFrame) -> None:
+        pass
+
+    def _handle_nak(self, frame: NakFrame) -> None:
+        pass
+
+    def _handle_reliable_data(self, frame: DataFrame) -> None:
+        pass
+
+
+class _Responder:
+    """Deferred SIFS response."""
+
+    __slots__ = ("mac", "frame")
+
+    def __init__(self, mac: Dot11Base, frame: object):
+        self.mac = mac
+        self.frame = frame
+
+    def __call__(self) -> None:
+        self.mac._emit_response(self.frame)
+
+
+class Dot11Dcf(Dot11Base):
+    """Plain IEEE 802.11 DCF: reliable unicast (RTS/CTS/DATA/ACK) and
+    one-shot unreliable unicast/multicast/broadcast.
+
+    Reliable *multicast* requests are rejected -- 802.11 has none; that
+    gap is exactly the paper's motivation. Use BMMM/BMW/RMAC for it.
+    """
+
+    NAME = "dot11"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._request: Optional[SendRequest] = None
+        self._failures = 0
+        self._phase = "idle"
+        self._seq = 0
+
+    def _has_work(self) -> bool:
+        return self._request is not None or super()._has_work()
+
+    # ------------------------------------------------------------------
+    def send_reliable(self, receivers, payload, payload_bytes, on_complete=None):
+        if len(tuple(receivers)) != 1:
+            raise ValueError("802.11 DCF supports reliable unicast only")
+        return super().send_reliable(receivers, payload, payload_bytes, on_complete)
+
+    def _begin_txn(self) -> None:
+        if self._request is None:
+            self._request = self.queue.pop()
+            self._failures = 0
+            self._seq = (self._seq + 1) & 0xFFFF
+        request = self._request
+        if not request.reliable:
+            frame = DataFrame(
+                src=self.node_id,
+                dst=request.receivers[0],
+                seq=self._seq,
+                payload_bytes=request.payload_bytes,
+                reliable=False,
+                payload=request.payload,
+                overhead=self.config.data_overhead,
+            )
+            self.stats.count_tx("UDATA")
+            self._phase = "tx-bcast"
+            self._send_frame(frame, self._on_broadcast_sent)
+            return
+        self._phase = "tx-rts"
+        dst = request.receivers[0]
+        phy = self.config.phy
+        # NAV covers CTS + DATA + ACK with SIFS gaps.
+        nav = (
+            3 * phy.sifs
+            + phy.frame_airtime(CtsFrame.SIZE)
+            + phy.frame_airtime(request.payload_bytes + self.config.data_overhead)
+            + phy.frame_airtime(AckFrame.SIZE)
+        )
+        rts = RtsFrame(self.node_id, dst, aux=min(0xFFFF, nav // US))
+        self._send_frame(rts, self._on_rts_sent)
+
+    def _on_broadcast_sent(self, frame: object, aborted: bool) -> None:
+        request = self._request
+        self._request = None
+        self.stats.unreliable_sent += 1
+        self._phase = "idle"
+        assert request is not None
+        self._complete(request, acked=(), failed=(), dropped=False)
+        self._end_txn()
+
+    def _on_rts_sent(self, frame: object, aborted: bool) -> None:
+        self._phase = "wait-cts"
+        self._phase_timer.start(self.config.response_timeout(CtsFrame.SIZE))
+
+    def _handle_cts(self, frame: CtsFrame) -> None:
+        if self._phase != "wait-cts" or frame.receiver != self.node_id:
+            return
+        self._phase_timer.cancel()
+        request = self._request
+        assert request is not None
+        phy = self.config.phy
+        data = DataFrame(
+            src=self.node_id,
+            dst=request.receivers[0],
+            seq=self._seq,
+            payload_bytes=request.payload_bytes,
+            reliable=True,
+            payload=request.payload,
+            overhead=self.config.data_overhead,
+        )
+        self._phase = "send-data"
+        self.sim.after(
+            phy.sifs, lambda: self._send_frame(data, self._on_data_sent), label="sifs-data"
+        )
+
+    def _on_data_sent(self, frame: object, aborted: bool) -> None:
+        self.stats.count_tx("RDATA")
+        self._phase = "wait-ack"
+        self._phase_timer.start(self.config.response_timeout(AckFrame.SIZE))
+
+    def _handle_ack(self, frame: AckFrame) -> None:
+        if self._phase != "wait-ack" or frame.receiver != self.node_id:
+            return
+        self._phase_timer.cancel()
+        request = self._request
+        self._request = None
+        self._phase = "idle"
+        self.backoff.reset_cw()
+        self.stats.packets_delivered += 1
+        assert request is not None
+        self._complete(request, acked=request.receivers, failed=(), dropped=False)
+        self._end_txn()
+
+    def _on_phase_timeout(self) -> None:
+        if self._phase not in ("wait-cts", "wait-ack"):
+            return
+        self._failures += 1
+        request = self._request
+        assert request is not None
+        if self._failures > self.config.retry_limit:
+            self._request = None
+            self._phase = "idle"
+            self.stats.packets_dropped += 1
+            self.backoff.reset_cw()
+            self._complete(request, acked=(), failed=request.receivers, dropped=True)
+            self._end_txn()
+        else:
+            self.stats.retransmissions += 1
+            self._phase = "idle"
+            self.backoff.double_cw()
+            self._end_txn()  # re-contend; _begin_txn resumes self._request
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def _handle_rts(self, frame: RtsFrame) -> None:
+        if frame.receiver != self.node_id:
+            return
+        if self.nav_until > self.sim.now:
+            return  # virtual carrier sense forbids the CTS
+        if self.radio.is_transmitting or self.in_txn:
+            return
+        phy = self.config.phy
+        nav = max(0, frame.aux * US - phy.sifs - phy.frame_airtime(CtsFrame.SIZE))
+        self._respond_after_sifs(CtsFrame(self.node_id, frame.transmitter, aux=nav // US))
+
+    def _handle_reliable_data(self, frame: DataFrame) -> None:
+        if frame.dst != self.node_id:
+            return
+        self.stats.count_rx("RDATA")
+        self._respond_after_sifs(AckFrame(self.node_id, frame.src))
+        self._deliver_data(frame)

@@ -1,0 +1,324 @@
+"""MAC frame formats with exact on-air sizes and wire serialization.
+
+Sizes follow the paper (Section 2 and Fig. 3):
+
+* MRTS: ``1 (type) + 6 (transmitter) + 1 (count) + 6n (receivers) + 4 (FCS)``
+  = ``12 + 6n`` bytes;
+* RTS 20 bytes; CTS / ACK / RAK 14 bytes (as in IEEE 802.11 / BMMM);
+* LBP's NCTS / NAK mirror CTS / ACK at 14 bytes;
+* data frames carry a MAC header + FCS on top of the payload. For RMAC
+  reliable data the overhead is 22 bytes, which makes the paper's
+  Section 3.4 arithmetic exact: shortest MRTS (18 B -> 168 us) plus
+  shortest data frame (22 B -> 184 us) = 352 us, hence the 20-receiver
+  limit 352/17. The 802.11-family data frames use the standard
+  24 + 4 = 28-byte header+FCS.
+
+``to_bytes`` / ``from_bytes`` implement a real wire format (MAC addresses
+are 48-bit node ids, FCS is CRC-32 over the body) so property tests can
+round-trip every frame type. The simulator itself passes frame *objects*
+around and only uses ``size_bytes`` for timing, as network simulators do.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import ClassVar, Tuple
+
+from repro.mac.addresses import BROADCAST
+
+#: Wire overheads, in bytes.
+MRTS_FIXED_BYTES = 12  # type + transmitter + count + FCS
+ADDRESS_BYTES = 6
+RTS_BYTES = 20
+CTS_BYTES = 14
+ACK_BYTES = 14
+RAK_BYTES = 14
+NCTS_BYTES = 14
+NAK_BYTES = 14
+#: RMAC reliable-data MAC overhead (header + FCS). See module docstring.
+RMAC_DATA_OVERHEAD = 22
+#: IEEE 802.11 data MAC overhead (24-byte header + 4-byte FCS).
+DOT11_DATA_OVERHEAD = 28
+
+
+class FrameType:
+    """Frame type codes used on the wire and for quick dispatch."""
+
+    MRTS = 0x01
+    RTS = 0x02
+    CTS = 0x03
+    ACK = 0x04
+    RAK = 0x05
+    NCTS = 0x06
+    NAK = 0x07
+    DATA_RELIABLE = 0x08
+    DATA_UNRELIABLE = 0x09
+
+    NAMES: ClassVar[dict] = {
+        0x01: "MRTS",
+        0x02: "RTS",
+        0x03: "CTS",
+        0x04: "ACK",
+        0x05: "RAK",
+        0x06: "NCTS",
+        0x07: "NAK",
+        0x08: "RDATA",
+        0x09: "UDATA",
+    }
+
+
+class FrameDecodeError(ValueError):
+    """Raised when a byte string cannot be decoded into a frame."""
+
+
+def _pack_addr(node: int) -> bytes:
+    if not -2 <= node < 2**48 - 1:
+        raise ValueError(f"node id {node} not representable as a MAC address")
+    # Map sentinels (-1 broadcast, -2 multicast-group flag) to the top ids.
+    raw = node if node >= 0 else 2**48 + node
+    return raw.to_bytes(ADDRESS_BYTES, "big")
+
+
+def _unpack_addr(data: bytes) -> int:
+    raw = int.from_bytes(data, "big")
+    return raw - 2**48 if raw >= 2**48 - 2 else raw
+
+
+def _with_fcs(body: bytes) -> bytes:
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+def _strip_fcs(data: bytes, what: str) -> bytes:
+    if len(data) < 4:
+        raise FrameDecodeError(f"{what}: too short for an FCS")
+    body, fcs = data[:-4], struct.unpack(">I", data[-4:])[0]
+    if zlib.crc32(body) != fcs:
+        raise FrameDecodeError(f"{what}: FCS mismatch")
+    return body
+
+
+@dataclass(frozen=True)
+class MrtsFrame:
+    """The Multicast Request-To-Send frame (paper Fig. 3).
+
+    ``receivers`` is the *ordered* address sequence; a receiver's index in
+    it determines its ABT response slot.
+    """
+
+    transmitter: int
+    receivers: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ValueError("MRTS needs at least one receiver")
+        if len(set(self.receivers)) != len(self.receivers):
+            raise ValueError("MRTS receivers must be distinct")
+        if len(self.receivers) > 255:
+            raise ValueError("MRTS receiver count field is one byte")
+
+    @property
+    def size_bytes(self) -> int:
+        return MRTS_FIXED_BYTES + ADDRESS_BYTES * len(self.receivers)
+
+    def index_of(self, node: int) -> int:
+        """The ABT slot index of ``node`` (raises ValueError if absent)."""
+        return self.receivers.index(node)
+
+    def to_bytes(self) -> bytes:
+        body = bytes([FrameType.MRTS]) + _pack_addr(self.transmitter)
+        body += bytes([len(self.receivers)])
+        for r in self.receivers:
+            body += _pack_addr(r)
+        return _with_fcs(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MrtsFrame":
+        body = _strip_fcs(data, "MRTS")
+        if len(body) < 8 or body[0] != FrameType.MRTS:
+            raise FrameDecodeError("not an MRTS frame")
+        transmitter = _unpack_addr(body[1:7])
+        count = body[7]
+        if len(body) != 8 + ADDRESS_BYTES * count:
+            raise FrameDecodeError("MRTS length does not match receiver count")
+        receivers = tuple(
+            _unpack_addr(body[8 + 6 * i : 14 + 6 * i]) for i in range(count)
+        )
+        return cls(transmitter, receivers)
+
+    def __str__(self) -> str:
+        return f"MRTS({self.transmitter}->{list(self.receivers)})"
+
+
+@dataclass(frozen=True)
+class _ControlFrame:
+    """Shared shape of the fixed-size control frames.
+
+    Wire layouts follow IEEE 802.11: a 20-byte RTS carries both the
+    receiver and the transmitter address; the 14-byte responses (CTS,
+    ACK, and the protocol extensions RAK/NCTS/NAK) carry only the
+    receiver address -- the transmitter is implied by timing on real
+    hardware. The simulation passes frame *objects* around, so the
+    ``transmitter`` attribute is always populated in memory; only
+    ``to_bytes``/``from_bytes`` reflect the wire truncation
+    (``from_bytes`` restores ``transmitter = -1`` for response frames).
+    The 2-byte ``aux`` field holds the NAV duration (RTS/CTS), BMW's
+    expected sequence number (CTS), or BMMM's RAK sequence number.
+    """
+
+    transmitter: int
+    receiver: int
+
+    TYPE: ClassVar[int] = 0
+    SIZE: ClassVar[int] = 14
+    #: True if the wire format carries the transmitter address (RTS).
+    WIRE_TRANSMITTER: ClassVar[bool] = False
+    aux: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.SIZE
+
+    def to_bytes(self) -> bytes:
+        body = bytes([self.TYPE]) + _pack_addr(self.receiver)
+        if self.WIRE_TRANSMITTER:
+            body += _pack_addr(self.transmitter)
+        body += struct.pack(">H", self.aux & 0xFFFF)
+        pad = self.SIZE - 4 - len(body)
+        if pad < 0:
+            raise ValueError(f"{type(self).__name__} layout exceeds {self.SIZE} bytes")
+        body += bytes(pad)
+        return _with_fcs(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes):
+        if len(data) != cls.SIZE:
+            raise FrameDecodeError(f"{cls.__name__}: wrong size {len(data)}")
+        body = _strip_fcs(data, cls.__name__)
+        if body[0] != cls.TYPE:
+            raise FrameDecodeError(f"not a {cls.__name__}")
+        receiver = _unpack_addr(body[1:7])
+        offset = 7
+        transmitter = -1
+        if cls.WIRE_TRANSMITTER:
+            transmitter = _unpack_addr(body[7:13])
+            offset = 13
+        aux = struct.unpack(">H", body[offset : offset + 2])[0]
+        return cls(transmitter, receiver, aux)
+
+    def __str__(self) -> str:
+        name = FrameType.NAMES.get(self.TYPE, "CTRL")
+        return f"{name}({self.transmitter}->{self.receiver})"
+
+
+@dataclass(frozen=True)
+class RtsFrame(_ControlFrame):
+    TYPE: ClassVar[int] = FrameType.RTS
+    SIZE: ClassVar[int] = RTS_BYTES
+    WIRE_TRANSMITTER: ClassVar[bool] = True
+
+
+@dataclass(frozen=True)
+class CtsFrame(_ControlFrame):
+    TYPE: ClassVar[int] = FrameType.CTS
+    SIZE: ClassVar[int] = CTS_BYTES
+
+
+@dataclass(frozen=True)
+class AckFrame(_ControlFrame):
+    TYPE: ClassVar[int] = FrameType.ACK
+    SIZE: ClassVar[int] = ACK_BYTES
+
+
+@dataclass(frozen=True)
+class RakFrame(_ControlFrame):
+    """BMMM's Request-for-ACK frame."""
+
+    TYPE: ClassVar[int] = FrameType.RAK
+    SIZE: ClassVar[int] = RAK_BYTES
+
+
+@dataclass(frozen=True)
+class NctsFrame(_ControlFrame):
+    """LBP's Not-Clear-To-Send negative channel feedback."""
+
+    TYPE: ClassVar[int] = FrameType.NCTS
+    SIZE: ClassVar[int] = NCTS_BYTES
+
+
+@dataclass(frozen=True)
+class NakFrame(_ControlFrame):
+    """LBP's Negative Acknowledgment."""
+
+    TYPE: ClassVar[int] = FrameType.NAK
+    SIZE: ClassVar[int] = NAK_BYTES
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A MAC data frame (reliable or unreliable).
+
+    ``dst`` is a node id, :data:`~repro.mac.addresses.BROADCAST`, or a
+    multicast group sentinel; reliable multicast under RMAC addresses
+    receivers via the preceding MRTS, so ``dst`` is then informational.
+    ``payload`` is an opaque object handed up to the network layer;
+    ``payload_bytes`` is its on-air size.
+    """
+
+    src: int
+    dst: int
+    seq: int
+    payload_bytes: int
+    reliable: bool
+    payload: object = field(default=None, compare=False)
+    #: MAC header + FCS overhead; set per protocol family.
+    overhead: int = RMAC_DATA_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("negative payload size")
+        if self.overhead < 0:
+            raise ValueError("negative overhead")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_bytes + self.overhead
+
+    @property
+    def frame_type(self) -> int:
+        return FrameType.DATA_RELIABLE if self.reliable else FrameType.DATA_UNRELIABLE
+
+    def to_bytes(self) -> bytes:
+        body = bytes([self.frame_type]) + _pack_addr(self.src) + _pack_addr(self.dst)
+        body += struct.pack(">HB H", self.seq & 0xFFFF, self.overhead & 0xFF,
+                            self.payload_bytes & 0xFFFF)
+        body += bytes(self.payload_bytes)  # payload contents are opaque
+        return _with_fcs(body)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DataFrame":
+        body = _strip_fcs(data, "DataFrame")
+        if len(body) < 18 or body[0] not in (
+            FrameType.DATA_RELIABLE,
+            FrameType.DATA_UNRELIABLE,
+        ):
+            raise FrameDecodeError("not a data frame")
+        src = _unpack_addr(body[1:7])
+        dst = _unpack_addr(body[7:13])
+        seq, overhead, payload_bytes = struct.unpack(">HB H", body[13:18])
+        if len(body) != 18 + payload_bytes:
+            raise FrameDecodeError("data frame length mismatch")
+        return cls(
+            src=src,
+            dst=dst,
+            seq=seq,
+            payload_bytes=payload_bytes,
+            reliable=body[0] == FrameType.DATA_RELIABLE,
+            overhead=overhead,
+        )
+
+    def __str__(self) -> str:
+        kind = "RDATA" if self.reliable else "UDATA"
+        dst = "BCAST" if self.dst == BROADCAST else self.dst
+        return f"{kind}({self.src}->{dst} seq={self.seq} {self.payload_bytes}B)"

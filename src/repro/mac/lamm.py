@@ -1,0 +1,110 @@
+"""LAMM -- Location Aware Multicast MAC (Sun et al., ICPP 2002)
+[extension].
+
+The second protocol of the BMMM paper, mentioned in RMAC's Section 2:
+"LAMM utilizes location information by GPS to further improve BMMM."
+The insight: an RTS/CTS pair exists to silence the *neighborhood of a
+receiver*; receivers whose neighborhoods are already covered by another
+receiver's CTS add no protection, so the sender need not solicit them.
+
+This implementation keeps BMMM's batch structure but runs the RTS/CTS
+phase only for a **covering subset** of the receivers, chosen by
+location (each node is assumed GPS-equipped; the simulator's own
+positions stand in for GPS readings):
+
+* greedily pick the receiver farthest from the already-chosen set until
+  every receiver lies within ``cover_radius`` (default: half the radio
+  range) of some chosen one;
+* RAK/ACK still runs for *every* receiver -- reliability is unchanged;
+  only channel-reservation overhead shrinks.
+
+With clustered receivers LAMM sends 1-2 RTS/CTS pairs instead of n,
+saving ~208 us per skipped receiver; with spread-out receivers it
+degrades gracefully to BMMM. The cover radius trades protection quality
+for overhead exactly as the original paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.mac.bmmm import BmmmProtocol
+
+
+def covering_subset(
+    positions: Sequence[Tuple[float, float]], cover_radius: float
+) -> List[int]:
+    """Greedy cover: indices of chosen receivers such that every receiver
+    is within ``cover_radius`` of a chosen one.
+
+    Deterministic: the first pick is the receiver farthest from the
+    centroid; ties break toward the lower index.
+    """
+    n = len(positions)
+    if n == 0:
+        return []
+    if cover_radius <= 0:
+        return list(range(n))
+    cx = sum(p[0] for p in positions) / n
+    cy = sum(p[1] for p in positions) / n
+    chosen: List[int] = []
+    covered = [False] * n
+
+    def dist(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+    while not all(covered):
+        best = None
+        best_key = (-1.0, 0)
+        for i in range(n):
+            if covered[i]:
+                continue
+            if chosen:
+                d = min(dist(positions[i], positions[j]) for j in chosen)
+            else:
+                d = dist(positions[i], (cx, cy))
+            key = (d, -i)
+            if key > best_key:
+                best_key = key
+                best = i
+        assert best is not None
+        chosen.append(best)
+        for i in range(n):
+            if not covered[i] and dist(positions[i], positions[best]) <= cover_radius:
+                covered[i] = True
+    return sorted(chosen)
+
+
+class LammProtocol(BmmmProtocol):
+    """Location Aware Multicast MAC: BMMM with a covered RTS/CTS phase."""
+
+    NAME = "lamm"
+
+    #: Receivers within this range of a CTS-polled receiver are considered
+    #: protected by its CTS. Half the radio range by default.
+    cover_radius: float = 37.5
+
+    def _send_next_rts(self) -> None:
+        # First entry into the RTS phase of a round: shrink the RTS list
+        # to the covering subset (the RAK list keeps every receiver).
+        if self._phase == "rts" and self._round_index == 0 and self._round_receivers:
+            if self._round_receivers == list(self._pending):
+                self._round_receivers = self._covered_receivers(self._pending)
+        super()._send_next_rts()
+
+    def _covered_receivers(self, receivers: Sequence[int]) -> List[int]:
+        positions = [self._position_of(r) for r in receivers]
+        chosen = covering_subset(positions, self.cover_radius)
+        return [receivers[i] for i in chosen]
+
+    def _position_of(self, node: int) -> Tuple[float, float]:
+        """The GPS reading for ``node`` (the simulator's ground truth)."""
+        coords = self.radio._data.neighbors.positions_at(self.sim.now)
+        return (float(coords[node][0]), float(coords[node][1]))
+
+    # The RAK phase must cover every pending receiver, not just the
+    # RTS-covered subset: restore the full list after the data frame.
+    def _on_data_sent(self, frame: object, aborted: bool) -> None:
+        self._round_receivers = list(self._pending)
+        super()._on_data_sent(frame, aborted)

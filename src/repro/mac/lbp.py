@@ -1,0 +1,225 @@
+"""LBP -- the Leader Based Protocol (Kuri & Kasera, 2001) [extension].
+
+One receiver (here: the first in the request's receiver list, standing in
+for the paper's leader-election machinery, whose difficulty the RMAC
+paper cites as LBP's drawback) answers on behalf of the group:
+
+* sender transmits an RTS naming the leader but carrying the multicast
+  intent (the other receivers recognize membership from the group list
+  distributed out of band -- here, the explicit receiver tuple);
+* the leader replies CTS; a non-leader whose virtual carrier sense
+  forbids the exchange replies NCTS instead, deliberately colliding with
+  the CTS so the sender backs off;
+* after the DATA, the leader replies ACK; a non-leader that *detected a
+  corrupted copy* replies NAK, deliberately colliding with the ACK so the
+  sender retransmits.
+
+The protocol's structural weakness is preserved faithfully: a non-leader
+that missed the DATA entirely (never started receiving it) stays silent,
+so the sender can believe the multicast succeeded -- LBP trades full
+reliability for constant feedback cost, which is exactly the contrast
+RMAC's Section 2 draws.
+
+Group membership signalling: receivers must know an RTS implicates them.
+Real LBP uses a group address; here the sender's MAC shares the receiver
+tuple with group members through the frame's ``aux``-less payload
+side-channel is avoided -- instead non-leader receivers arm on the
+*DATA* frame (multicast dst) and on corruption send NAK referencing the
+sender. This keeps the wire format to standard 802.11 frames.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mac.addresses import BROADCAST
+from repro.mac.base import SendRequest
+from repro.mac.dot11 import Dot11Base
+from repro.mac.frames import AckFrame, CtsFrame, DataFrame, NakFrame, NctsFrame, RtsFrame
+
+
+class LbpProtocol(Dot11Base):
+    """Leader Based Protocol."""
+
+    NAME = "lbp"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._request: Optional[SendRequest] = None
+        self._failures = 0
+        self._seq = 0
+        self._phase = "idle"
+        #: src -> expiry of an overheard exchange window (set by an RTS from
+        #: src; a frame error from src inside the window draws ONE NAK).
+        self._exchange_window: dict[int, int] = {}
+
+    def _has_work(self) -> bool:
+        return self._request is not None or super()._has_work()
+
+    # ==================================================================
+    # Sender
+    # ==================================================================
+    def _begin_txn(self) -> None:
+        if self._request is None:
+            request = self.queue.pop()
+            self._request = request
+            self._seq = (self._seq + 1) & 0xFFFF
+            self._failures = 0
+        request = self._request
+        if not request.reliable:
+            frame = DataFrame(
+                src=self.node_id,
+                dst=request.receivers[0],
+                seq=self._seq,
+                payload_bytes=request.payload_bytes,
+                reliable=False,
+                payload=request.payload,
+                overhead=self.config.data_overhead,
+            )
+            self.stats.count_tx("UDATA")
+            self._phase = "tx-bcast"
+            self._send_frame(frame, self._on_broadcast_sent)
+            return
+        leader = request.receivers[0]
+        self._phase = "rts"
+        self._send_frame(RtsFrame(self.node_id, leader), self._on_rts_sent)
+
+    def _on_broadcast_sent(self, frame: object, aborted: bool) -> None:
+        request = self._request
+        self._request = None
+        self._phase = "idle"
+        self.stats.unreliable_sent += 1
+        assert request is not None
+        self._complete(request, acked=(), failed=(), dropped=False)
+        self._end_txn()
+
+    def _on_rts_sent(self, frame: object, aborted: bool) -> None:
+        self._phase = "wait-cts"
+        self._phase_timer.start(self.config.response_timeout(CtsFrame.SIZE))
+
+    def _handle_cts(self, frame: CtsFrame) -> None:
+        request = self._request
+        if self._phase != "wait-cts" or frame.receiver != self.node_id:
+            return
+        assert request is not None
+        if frame.transmitter != request.receivers[0]:
+            return
+        self._phase_timer.cancel()
+        data = DataFrame(
+            src=self.node_id,
+            dst=BROADCAST,  # multicast data: all receivers decode it
+            seq=self._seq,
+            payload_bytes=request.payload_bytes,
+            reliable=True,
+            payload=request.payload,
+            overhead=self.config.data_overhead,
+        )
+        self._phase = "send-data"
+        self.sim.after(
+            self.config.phy.sifs,
+            lambda: self._send_frame(data, self._on_data_sent),
+            label="sifs-data",
+        )
+
+    def _handle_ncts(self, frame: NctsFrame) -> None:
+        # An explicit NCTS reached us intact: a receiver's channel is busy.
+        if self._phase == "wait-cts" and frame.receiver == self.node_id:
+            self._phase_timer.cancel()
+            self._attempt_failed()
+
+    def _on_data_sent(self, frame: object, aborted: bool) -> None:
+        self.stats.count_tx("RDATA")
+        self._phase = "wait-ack"
+        self._phase_timer.start(self.config.response_timeout(AckFrame.SIZE))
+
+    def _handle_ack(self, frame: AckFrame) -> None:
+        request = self._request
+        if self._phase != "wait-ack" or frame.receiver != self.node_id:
+            return
+        assert request is not None
+        if frame.transmitter != request.receivers[0]:
+            return
+        # A clean ACK means the leader succeeded AND no NAK collided.
+        self._phase_timer.cancel()
+        self._request = None
+        self._phase = "idle"
+        self.backoff.reset_cw()
+        self.stats.packets_delivered += 1
+        self._complete(request, acked=request.receivers, failed=(), dropped=False)
+        self._end_txn()
+
+    def _handle_nak(self, frame: NakFrame) -> None:
+        # A NAK that got through intact (no ACK to collide with).
+        if self._phase == "wait-ack" and frame.receiver == self.node_id:
+            self._phase_timer.cancel()
+            self._attempt_failed()
+
+    def _on_phase_timeout(self) -> None:
+        if self._phase in ("wait-cts", "wait-ack"):
+            self._attempt_failed()
+
+    def _attempt_failed(self) -> None:
+        request = self._request
+        assert request is not None
+        self._failures += 1
+        if self._failures > self.config.retry_limit:
+            self._request = None
+            self._phase = "idle"
+            self.stats.packets_dropped += 1
+            self.backoff.reset_cw()
+            self._complete(request, acked=(), failed=request.receivers, dropped=True)
+        else:
+            self.stats.retransmissions += 1
+            self._phase = "idle"
+            self.backoff.double_cw()
+        self._end_txn()
+
+    # ==================================================================
+    # Receiver
+    # ==================================================================
+    def _handle_rts(self, frame: RtsFrame) -> None:
+        # Every overheard RTS opens an exchange window: data from this
+        # source is imminent, and a corrupted copy warrants one NAK.
+        self._exchange_window[frame.transmitter] = self.sim.now + self.EXCHANGE_WINDOW
+        if frame.receiver != self.node_id:
+            return
+        if self.radio.is_transmitting or self.in_txn:
+            return
+        if self.nav_until > self.sim.now:
+            # LBP's negative channel feedback.
+            self._respond_after_sifs(NctsFrame(self.node_id, frame.transmitter))
+            return
+        self._respond_after_sifs(CtsFrame(self.node_id, frame.transmitter))
+
+    #: How long an overheard RTS keeps the exchange window open: covers
+    #: CTS + a full-size data frame + slack.
+    EXCHANGE_WINDOW = 10_000_000  # 10 ms
+
+    def _handle_reliable_data(self, frame: DataFrame) -> None:
+        if frame.dst != BROADCAST:
+            return
+        self.stats.count_rx("RDATA")
+        self._exchange_window.pop(frame.src, None)
+        # The leader (who CTS'd) acknowledges. We approximate leadership
+        # locally: a node ACKs iff it sent the CTS for this exchange --
+        # tracked by the sender addressing the RTS to it; others stay
+        # silent unless they saw corruption (NAK path via on_frame_error).
+        if self._expecting_ack_for == frame.src:
+            self._expecting_ack_for = None
+            self._respond_after_sifs(AckFrame(self.node_id, frame.src))
+        self._deliver_data(frame)
+
+    _expecting_ack_for: Optional[int] = None
+
+    def _respond_after_sifs(self, frame: object) -> None:
+        if isinstance(frame, CtsFrame):
+            self._expecting_ack_for = frame.receiver
+        super()._respond_after_sifs(frame)
+
+    def on_frame_error(self, sender: int) -> None:
+        # A corrupted frame from a source with an open exchange window:
+        # reply exactly one NAK to force a retransmission. Closing the
+        # window here is what prevents NAK<->collision feedback storms.
+        expiry = self._exchange_window.pop(sender, None)
+        if expiry is not None and self.sim.now <= expiry:
+            self._respond_after_sifs(NakFrame(self.node_id, sender))

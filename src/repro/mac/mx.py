@@ -1,0 +1,204 @@
+"""An 802.11MX-style receiver-initiated busy-tone multicast MAC
+(after Gupta, Shankar & Lalwani, ICC 2003) [extension].
+
+The contrast the paper draws in Section 2, reproduced executably:
+
+* sender-initiated RMAC collects *positive* per-receiver feedback (ABTs)
+  and can therefore guarantee full reliability;
+* receiver-initiated MX uses a single *negative* feedback tone: after the
+  multicast announcement (here reusing the MRTS frame as the multicast
+  RTS) and the DATA frame, any intended receiver whose copy was corrupted
+  raises the NAK tone; silence means success. A receiver that missed the
+  announcement entirely never enters the NAK state, so the sender can
+  falsely conclude success -- MX's structural reliability gap.
+
+Implementation notes: the NAK tone rides the ABT channel (one
+narrow-band tone channel, used negatively); retransmissions repeat the
+full announcement + data to the *whole* group, since negative feedback
+does not identify who failed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mac.addresses import BROADCAST
+from repro.mac.base import SendRequest
+from repro.mac.dot11 import Dot11Base
+from repro.mac.frames import DataFrame, MrtsFrame
+from repro.phy.busytone import ToneType
+from repro.sim.timers import Timer
+from repro.sim.units import US
+
+
+class MxProtocol(Dot11Base):
+    """Receiver-initiated busy-tone NAK multicast."""
+
+    NAME = "mx"
+
+    #: NAK tone window/duration: 2 tau + lambda, as for RMAC's ABT.
+    NAK_WINDOW = 17 * US
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._request: Optional[SendRequest] = None
+        self._failures = 0
+        self._seq = 0
+        self._phase = "idle"
+        self._nak_check_start = 0
+        self._nak_timer = Timer(self.sim, self._on_nak_window_done, "nak-window")
+        # Receiver side.
+        self._expect_from: Optional[int] = None
+        self._expect_timer = Timer(self.sim, self._on_expect_timeout, "mx-expect")
+        self._got_first_bit = False
+
+    def _has_work(self) -> bool:
+        return self._request is not None or super()._has_work()
+
+    # ==================================================================
+    # Sender
+    # ==================================================================
+    def _begin_txn(self) -> None:
+        if self._request is None:
+            request = self.queue.pop()
+            self._request = request
+            self._seq = (self._seq + 1) & 0xFFFF
+            self._failures = 0
+        request = self._request
+        if not request.reliable:
+            frame = DataFrame(
+                src=self.node_id,
+                dst=request.receivers[0],
+                seq=self._seq,
+                payload_bytes=request.payload_bytes,
+                reliable=False,
+                payload=request.payload,
+                overhead=self.config.data_overhead,
+            )
+            self.stats.count_tx("UDATA")
+            self._phase = "tx-bcast"
+            self._send_frame(frame, self._on_broadcast_sent)
+            return
+        announce = MrtsFrame(self.node_id, tuple(request.receivers))
+        self._phase = "announce"
+        self.stats.count_tx("MRTS")
+        self.stats.mrts_transmissions += 1
+        self.stats.record_mrts_length(announce.size_bytes)
+        self._send_frame(announce, self._on_announce_sent)
+
+    def _on_broadcast_sent(self, frame: object, aborted: bool) -> None:
+        request = self._request
+        self._request = None
+        self._phase = "idle"
+        self.stats.unreliable_sent += 1
+        assert request is not None
+        self._complete(request, acked=(), failed=(), dropped=False)
+        self._end_txn()
+
+    def _on_announce_sent(self, frame: object, aborted: bool) -> None:
+        request = self._request
+        assert request is not None
+        data = DataFrame(
+            src=self.node_id,
+            dst=BROADCAST,
+            seq=self._seq,
+            payload_bytes=request.payload_bytes,
+            reliable=True,
+            payload=request.payload,
+            overhead=self.config.data_overhead,
+        )
+        self._phase = "send-data"
+        self.sim.after(
+            self.config.phy.sifs,
+            lambda: self._send_frame(data, self._on_data_sent),
+            label="sifs-data",
+        )
+
+    def _on_data_sent(self, frame: object, aborted: bool) -> None:
+        self.stats.count_tx("RDATA")
+        self._phase = "nak-window"
+        self._nak_check_start = self.sim.now
+        self._nak_timer.start(self.NAK_WINDOW)
+
+    def _on_nak_window_done(self) -> None:
+        request = self._request
+        assert request is not None
+        nak = (
+            self.radio.tone_longest_presence(
+                ToneType.ABT, self._nak_check_start, self.sim.now
+            )
+            >= self.config.phy.cca_time
+        )
+        self.stats.abt_check_time += self.NAK_WINDOW
+        if not nak:
+            # Silence: assume success (including receivers that never heard
+            # the announcement -- the reliability gap).
+            self._request = None
+            self._phase = "idle"
+            self.backoff.reset_cw()
+            self.stats.packets_delivered += 1
+            self._complete(request, acked=request.receivers, failed=(), dropped=False)
+            self._end_txn()
+            return
+        self._failures += 1
+        if self._failures > self.config.retry_limit:
+            self._request = None
+            self._phase = "idle"
+            self.stats.packets_dropped += 1
+            self.backoff.reset_cw()
+            self._complete(request, acked=(), failed=request.receivers, dropped=True)
+        else:
+            self.stats.retransmissions += 1
+            self._phase = "idle"
+            self.backoff.double_cw()
+        self._end_txn()
+
+    def _on_phase_timeout(self) -> None:  # pragma: no cover - MX has none
+        pass
+
+    # ==================================================================
+    # Receiver
+    # ==================================================================
+    def on_frame_received(self, frame: object, sender: int) -> None:
+        if isinstance(frame, MrtsFrame):
+            self.stats.count_rx("MRTS")
+            if self.node_id in frame.receivers:
+                self.stats.control_rx_time += self.radio.frame_airtime(frame)
+            if self.node_id in frame.receivers and not self.in_txn:
+                self._expect_from = frame.transmitter
+                self._got_first_bit = False
+                # DATA follows after SIFS; generous guard.
+                self._expect_timer.start(
+                    self.config.phy.sifs + 2 * self.config.tau + 4 * US
+                )
+            return
+        super().on_frame_received(frame, sender)
+
+    def on_rx_start(self, sender: int) -> None:
+        if self._expect_from is not None and not self._got_first_bit:
+            self._got_first_bit = True
+            self._expect_timer.cancel()
+
+    def _handle_reliable_data(self, frame: DataFrame) -> None:
+        if self._expect_from is None or frame.src != self._expect_from:
+            return
+        self._expect_from = None
+        self.stats.count_rx("RDATA")
+        self._deliver_data(frame)
+
+    def on_frame_error(self, sender: int) -> None:
+        if self._expect_from is not None and self._got_first_bit:
+            # Corrupted copy: raise the NAK tone.
+            self._expect_from = None
+            self._nak_pulse()
+
+    def _on_expect_timeout(self) -> None:
+        if self._expect_from is not None and not self._got_first_bit:
+            # Announcement heard but no data started: NAK as well.
+            self._expect_from = None
+            self._nak_pulse()
+
+    def _nak_pulse(self) -> None:
+        channel = self.radio.tone_channel(ToneType.ABT)
+        if not channel.is_emitting(self.node_id):
+            self.radio.tone_pulse(ToneType.ABT, self.NAK_WINDOW)

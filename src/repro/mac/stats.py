@@ -1,0 +1,97 @@
+"""Per-node MAC counters.
+
+Every metric reported in the paper's evaluation (Figs. 8 and 10-13) is a
+ratio over these counters:
+
+* ``R_drop``  = packets_dropped / packets_offered            (Fig. 8)
+* ``R_retx``  = retransmissions / packets_offered            (Fig. 10)
+* ``R_txoh``  = (control tx + control rx + ABT check time)
+                / reliable data tx time                      (Fig. 11)
+* MRTS length distribution (Fig. 12) and
+* ``R_abort`` = mrts_aborted / mrts_transmissions            (Fig. 13).
+
+Counter semantics follow the paper's definitions: "packets to be
+transmitted by that node" counts packets handed to the MAC's reliable
+service; a *retransmission* is any repeat attempt of a data transaction
+beyond the first for a given packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class MacStats:
+    """Mutable per-node counter block. Times are in nanoseconds."""
+
+    node_id: int = -1
+
+    # -- packet-level accounting (reliable service) --------------------
+    packets_offered: int = 0          # reliable packets handed to the MAC
+    packets_delivered: int = 0        # completed with every receiver acked
+    packets_dropped: int = 0          # retry limit exceeded
+    queue_drops: int = 0              # transmit-queue overflow (if capped)
+    retransmissions: int = 0          # repeat attempts beyond the first
+
+    # -- unreliable service --------------------------------------------
+    unreliable_sent: int = 0
+    unreliable_aborted: int = 0       # unreliable data aborted on RBT
+
+    # -- airtime accounting ---------------------------------------------
+    control_tx_time: int = 0          # MRTS/RTS/CTS/ACK/RAK... transmitted
+    control_rx_time: int = 0          # control frames received intact
+    abt_check_time: int = 0           # time spent sensing ABT windows
+    data_tx_time: int = 0             # reliable data frames transmitted
+
+    # -- frame counts -----------------------------------------------------
+    frames_tx: Dict[str, int] = field(default_factory=dict)
+    frames_rx: Dict[str, int] = field(default_factory=dict)
+
+    # -- RMAC-specific ----------------------------------------------------
+    mrts_transmissions: int = 0       # MRTS transmissions started
+    mrts_aborted: int = 0             # aborted due to RBT detection
+    mrts_lengths: Dict[int, int] = field(default_factory=dict)  # bytes -> count
+
+    def count_tx(self, kind: str) -> None:
+        self.frames_tx[kind] = self.frames_tx.get(kind, 0) + 1
+
+    def count_rx(self, kind: str) -> None:
+        self.frames_rx[kind] = self.frames_rx.get(kind, 0) + 1
+
+    def record_mrts_length(self, nbytes: int) -> None:
+        self.mrts_lengths[nbytes] = self.mrts_lengths.get(nbytes, 0) + 1
+
+    # ------------------------------------------------------------------
+    # The paper's per-node ratios. Each returns None when undefined
+    # (e.g. a leaf node that never forwarded a packet).
+    # ------------------------------------------------------------------
+    def drop_ratio(self) -> Optional[float]:
+        if self.packets_offered == 0:
+            return None
+        return self.packets_dropped / self.packets_offered
+
+    def retransmission_ratio(self) -> Optional[float]:
+        if self.packets_offered == 0:
+            return None
+        return self.retransmissions / self.packets_offered
+
+    def overhead_ratio(self) -> Optional[float]:
+        if self.data_tx_time == 0:
+            return None
+        return (
+            self.control_tx_time + self.control_rx_time + self.abt_check_time
+        ) / self.data_tx_time
+
+    def abort_ratio(self) -> Optional[float]:
+        if self.mrts_transmissions == 0:
+            return None
+        return self.mrts_aborted / self.mrts_transmissions
+
+    def mrts_length_values(self) -> list[int]:
+        """Expanded MRTS length samples (bytes), for percentile statistics."""
+        out: list[int] = []
+        for length, count in sorted(self.mrts_lengths.items()):
+            out.extend([length] * count)
+        return out

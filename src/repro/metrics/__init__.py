@@ -1,0 +1,18 @@
+"""Metrics: per-run collection and the paper's aggregate figures."""
+
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.distributions import (
+    DelayDistribution,
+    delay_distribution,
+    per_node_delay_means,
+)
+from repro.metrics.summary import RunSummary, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "DelayDistribution",
+    "delay_distribution",
+    "per_node_delay_means",
+    "RunSummary",
+    "summarize",
+]

@@ -1,0 +1,65 @@
+"""Application-level metric collection.
+
+The MAC layer keeps its own counters (:class:`repro.mac.stats.MacStats`);
+this collector records what only the application can see: which packets
+were generated, which node received which packet, and the end-to-end
+delay of every reception. Together they produce every figure of
+Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MetricsCollector:
+    """Shared, per-run collector the multicast apps report into."""
+
+    def __init__(self, keep_delays: bool = False):
+        #: pkt_id -> generation time (ns) at the source.
+        self.generated: Dict[int, int] = {}
+        #: node -> number of distinct packets received.
+        self.deliveries_per_node: Dict[int, int] = {}
+        self._delay_sum = 0
+        self._delay_count = 0
+        self._delay_max = 0
+        self.keep_delays = keep_delays
+        #: every (node, pkt_id, delay_ns) if keep_delays (tests, deep dives).
+        self.delay_records: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def record_generated(self, pkt_id: int, time_ns: int) -> None:
+        self.generated[pkt_id] = time_ns
+
+    def record_delivery(self, node: int, pkt_id: int, delay_ns: int) -> None:
+        self.deliveries_per_node[node] = self.deliveries_per_node.get(node, 0) + 1
+        self._delay_sum += delay_ns
+        self._delay_count += 1
+        self._delay_max = max(self._delay_max, delay_ns)
+        if self.keep_delays:
+            self.delay_records.append((node, pkt_id, delay_ns))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated)
+
+    @property
+    def total_deliveries(self) -> int:
+        return sum(self.deliveries_per_node.values())
+
+    def delivery_ratio(self, n_nodes: int) -> Optional[float]:
+        """R_deliv: receptions over (packets x non-source nodes)."""
+        expected = self.n_generated * (n_nodes - 1)
+        if expected == 0:
+            return None
+        return self.total_deliveries / expected
+
+    def mean_delay_ns(self) -> Optional[float]:
+        """Average end-to-end delay over every reception (Fig. 9's D)."""
+        if self._delay_count == 0:
+            return None
+        return self._delay_sum / self._delay_count
+
+    def max_delay_ns(self) -> int:
+        return self._delay_max

@@ -1,0 +1,73 @@
+"""Delay distributions (extension beyond the paper's averages).
+
+The paper reports only the mean end-to-end delay (Fig. 9). For a system
+that claims *reliability*, tail latency matters too; collect with
+``MetricsCollector(keep_delays=True)`` and summarize here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.collectors import MetricsCollector
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class DelayDistribution:
+    """Percentiles of end-to-end delay, in seconds."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p90_s: float
+    p99_s: float
+    max_s: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean (s)": self.mean_s,
+            "p50 (s)": self.p50_s,
+            "p90 (s)": self.p90_s,
+            "p99 (s)": self.p99_s,
+            "max (s)": self.max_s,
+        }
+
+
+def delay_distribution(metrics: MetricsCollector) -> DelayDistribution:
+    """Distribution over every recorded reception.
+
+    Requires the collector to have been created with ``keep_delays=True``
+    (raises ValueError otherwise, rather than silently reporting zeros).
+    """
+    if not metrics.keep_delays:
+        raise ValueError("collector was not keeping delays; "
+                         "construct it with keep_delays=True")
+    delays = np.array([d for _, _, d in metrics.delay_records], dtype=float)
+    if len(delays) == 0:
+        return DelayDistribution(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return DelayDistribution(
+        count=len(delays),
+        mean_s=float(delays.mean()) / SEC,
+        p50_s=float(np.percentile(delays, 50)) / SEC,
+        p90_s=float(np.percentile(delays, 90)) / SEC,
+        p99_s=float(np.percentile(delays, 99)) / SEC,
+        max_s=float(delays.max()) / SEC,
+    )
+
+
+def per_node_delay_means(metrics: MetricsCollector) -> Dict[int, float]:
+    """Mean delay (s) per receiving node -- exposes depth-in-tree effects:
+    deeper nodes pay one queueing + transaction time per hop."""
+    if not metrics.keep_delays:
+        raise ValueError("collector was not keeping delays")
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for node, _pkt, delay in metrics.delay_records:
+        sums[node] = sums.get(node, 0.0) + delay
+        counts[node] = counts.get(node, 0) + 1
+    return {node: (sums[node] / counts[node]) / SEC for node in sums}

@@ -1,0 +1,23 @@
+"""The trivial stationary model (the paper's first scenario)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mobility.base import MobilityModel
+
+
+class StationaryModel(MobilityModel):
+    """A node that never moves."""
+
+    def __init__(self, x: float, y: float):
+        self._pos = (float(x), float(y))
+
+    def position(self, time_ns: int) -> Tuple[float, float]:
+        return self._pos
+
+    def is_static(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StationaryModel{self._pos}"

@@ -1,0 +1,37 @@
+"""Network layer: the simplified BLESS tree protocol and tree multicast.
+
+The paper's workload (Section 4.1.1): a single-source multicast
+application forwards packets from node 0 along a tree to all nodes; the
+tree is maintained by a simplified BLESS protocol whose only operation is
+a periodic one-hop broadcast of routing messages (sent with the MAC's
+unreliable service). Per-hop forwarding uses the MAC's reliable multicast
+to the node's current children.
+
+* :mod:`repro.net.packet`    -- routing message and multicast packet types.
+* :mod:`repro.net.bless`     -- the simplified BLESS protocol.
+* :mod:`repro.net.tree`      -- tree snapshots and the Fig. 6 statistics.
+* :mod:`repro.net.multicast` -- source application + per-hop forwarding.
+* :mod:`repro.net.stack`     -- the per-node network layer gluing them.
+"""
+
+from repro.net.bless import BlessConfig, BlessProtocol
+from repro.net.convergence import ChurnReport, analyze_churn
+from repro.net.multicast import MulticastApp, MulticastConfig
+from repro.net.packet import MulticastPacket, RoutingMessage
+from repro.net.stack import NetworkLayer
+from repro.net.tree import TreeSnapshot, bfs_tree, tree_statistics
+
+__all__ = [
+    "BlessConfig",
+    "BlessProtocol",
+    "ChurnReport",
+    "analyze_churn",
+    "MulticastApp",
+    "MulticastConfig",
+    "MulticastPacket",
+    "RoutingMessage",
+    "NetworkLayer",
+    "TreeSnapshot",
+    "bfs_tree",
+    "tree_statistics",
+]

@@ -1,0 +1,159 @@
+"""The simplified BLESS tree protocol (Section 4.1.1).
+
+"In this simple protocol, the node with ID=0 is always designated as the
+root node; and the tree is formed by only one operation -- a periodical
+one-hop broadcast of the routing messages. This broadcast is performed by
+the unreliable services of RMAC or BMMM accordingly."
+
+Mechanics chosen here (the paper gives only the sentence above; all
+values are configurable and swept by the ablation bench):
+
+* every node broadcasts ``RoutingMessage(origin, hops, parent)`` each
+  ``period`` (default 1 s), with a random initial phase to avoid
+  network-wide synchronization;
+* a node's parent is its neighbor with the smallest advertised
+  hops-to-root (ties broken by node id); its own hops = parent's + 1;
+* neighbor entries expire after ``expiry`` (default 3 periods), so nodes
+  that move away are dropped and the tree reconfigures -- the paper's
+  explanation for the mobility-induced delivery drop;
+* a node's *children* are the neighbors whose latest non-expired message
+  named it as parent. The multicast application forwards to exactly this
+  set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mac.addresses import BROADCAST
+from repro.mac.base import MacProtocol
+from repro.net.packet import RoutingMessage
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC
+
+#: hops value advertised while not joined to the tree.
+UNJOINED = 255
+
+
+@dataclass(frozen=True)
+class BlessConfig:
+    """Tunables of the simplified BLESS protocol."""
+
+    period: int = 1 * SEC
+    #: Entries unheard for this long are dropped (must exceed period).
+    expiry: int = 3 * SEC
+    root: int = 0
+    #: Per-broadcast jitter as a fraction of the period. Without it a
+    #: hello stream phase-locks against the source's constant-bit-rate
+    #: data traffic and the *same* hello collides every period, which
+    #: expires live neighbors in bursts.
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.expiry < self.period:
+            raise ValueError("expiry must be at least one period")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+@dataclass
+class _NeighborEntry:
+    hops: int
+    parent: int
+    heard_at: int
+
+
+class BlessProtocol:
+    """One node's tree-maintenance state."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        mac: MacProtocol,
+        config: BlessConfig,
+        rng: random.Random,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.mac = mac
+        self.config = config
+        self._rng = rng
+        self._table: Dict[int, _NeighborEntry] = {}
+        self.parent: int = -1
+        self.hops: int = 0 if node_id == config.root else UNJOINED
+        #: (time, parent) history, for tree-churn analysis.
+        self.parent_changes: List[Tuple[int, int]] = []
+
+    @property
+    def is_root(self) -> bool:
+        return self.node_id == self.config.root
+
+    @property
+    def joined(self) -> bool:
+        return self.is_root or self.hops < UNJOINED
+
+    def start(self) -> None:
+        """Begin the periodic broadcast with a random phase."""
+        phase = self._rng.randrange(self.config.period)
+        self.sim.after(phase, self._broadcast, label="bless-tx")
+
+    # ------------------------------------------------------------------
+    def _broadcast(self) -> None:
+        message = RoutingMessage(self.node_id, self.hops, self.parent)
+        self.mac.send_unreliable(BROADCAST, message, message.payload_bytes)
+        gap = self.config.period
+        if self.config.jitter:
+            spread = int(gap * self.config.jitter)
+            gap += self._rng.randint(-spread, spread)
+        self.sim.after(gap, self._broadcast, label="bless-tx")
+
+    def on_routing_message(self, message: RoutingMessage, sender: int) -> None:
+        """Handle a neighbor's broadcast (called from the network layer)."""
+        self._table[message.origin] = _NeighborEntry(
+            hops=message.hops_to_root,
+            parent=message.parent,
+            heard_at=self.sim.now,
+        )
+        self._reselect()
+
+    # ------------------------------------------------------------------
+    def _expire(self) -> None:
+        cutoff = self.sim.now - self.config.expiry
+        stale = [n for n, e in self._table.items() if e.heard_at < cutoff]
+        for n in stale:
+            del self._table[n]
+
+    def _reselect(self) -> None:
+        """Re-derive parent and hops from the live neighbor table."""
+        if self.is_root:
+            return
+        self._expire()
+        best: Optional[int] = None
+        best_key = (UNJOINED, 0)
+        for neighbor, entry in self._table.items():
+            if entry.hops >= UNJOINED:
+                continue
+            key = (entry.hops, neighbor)
+            if key < best_key:
+                best_key = key
+                best = neighbor
+        if best is None:
+            new_parent, new_hops = -1, UNJOINED
+        else:
+            new_parent, new_hops = best, best_key[0] + 1
+        if new_parent != self.parent:
+            self.parent_changes.append((self.sim.now, new_parent))
+        self.parent = new_parent
+        self.hops = new_hops
+
+    def children(self) -> Tuple[int, ...]:
+        """Neighbors currently claiming this node as their parent."""
+        self._expire()
+        return tuple(
+            sorted(n for n, e in self._table.items() if e.parent == self.node_id)
+        )

@@ -1,0 +1,96 @@
+"""Tree convergence and churn analytics.
+
+The paper attributes the mobile delivery drop to "nodes moving out of
+range of the previous parents" and defers the fix to upper layers. These
+helpers quantify that mechanism in a finished run: how long nodes took to
+join, how often parents changed, and how much of the run each node spent
+detached -- the direct driver of the Fig. 7(b,c) delivery gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.bless import BlessProtocol
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Aggregated tree-churn statistics for one run."""
+
+    n_nodes: int
+    #: time (ns) each non-root node first acquired a parent; None = never.
+    join_times: Tuple[Optional[int], ...]
+    #: total parent changes per non-root node (excluding the first join).
+    parent_changes: Tuple[int, ...]
+    #: fraction of [0, horizon] each non-root node spent without a parent.
+    detached_fraction: Tuple[float, ...]
+
+    @property
+    def all_joined(self) -> bool:
+        return all(t is not None for t in self.join_times)
+
+    def max_join_time(self) -> Optional[int]:
+        times = [t for t in self.join_times if t is not None]
+        return max(times) if times else None
+
+    def mean_parent_changes(self) -> float:
+        if not self.parent_changes:
+            return 0.0
+        return sum(self.parent_changes) / len(self.parent_changes)
+
+    def mean_detached_fraction(self) -> float:
+        if not self.detached_fraction:
+            return 0.0
+        return sum(self.detached_fraction) / len(self.detached_fraction)
+
+    def churn_rate_per_node_minute(self, horizon: int) -> float:
+        """Parent changes per node per simulated minute."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        minutes = horizon / (60 * SEC)
+        if not self.parent_changes or minutes == 0:
+            return 0.0
+        return self.mean_parent_changes() / minutes
+
+
+def analyze_churn(blesses: Sequence[BlessProtocol], horizon: int) -> ChurnReport:
+    """Build a :class:`ChurnReport` from the per-node BLESS histories.
+
+    ``horizon`` is the end of the observation window (ns), typically the
+    simulation end time.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    join_times: List[Optional[int]] = []
+    changes: List[int] = []
+    detached: List[float] = []
+    for bless in blesses:
+        if bless.is_root:
+            continue
+        history = bless.parent_changes
+        joins = [(t, p) for t, p in history if p >= 0]
+        join_times.append(joins[0][0] if joins else None)
+        changes.append(max(0, len(history) - 1))
+        # Integrate detached time: start detached; each (t, parent) entry
+        # toggles between attached (parent >= 0) and detached (-1).
+        detached_ns = 0
+        cursor = 0
+        attached = False
+        for t, parent in history:
+            t = min(t, horizon)
+            if not attached:
+                detached_ns += t - cursor
+            cursor = t
+            attached = parent >= 0
+        if not attached:
+            detached_ns += max(0, horizon - cursor)
+        detached.append(min(1.0, detached_ns / horizon))
+    return ChurnReport(
+        n_nodes=len(blesses),
+        join_times=tuple(join_times),
+        parent_changes=tuple(changes),
+        detached_fraction=tuple(detached),
+    )

@@ -1,0 +1,117 @@
+"""The tree multicast application (Section 4.1.1).
+
+The source (the BLESS root) emits fixed-size packets at a constant rate;
+every node that receives a packet for the first time records the
+reception (feeding R_deliv and the end-to-end delay of Figs. 7/9) and
+forwards it to its *current* BLESS children with the MAC's reliable
+multicast service. Duplicates -- possible when the tree reconfigures or a
+MAC-level retransmission races an ABT loss -- are suppressed by packet id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, TYPE_CHECKING
+
+from repro.mac.base import MacProtocol, SendOutcome
+from repro.net.bless import BlessProtocol
+from repro.net.packet import MulticastPacket
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collectors import MetricsCollector
+
+
+@dataclass(frozen=True)
+class MulticastConfig:
+    """Source traffic parameters."""
+
+    rate_pps: float            # packets per second at the source
+    n_packets: int             # total packets the source emits
+    payload_bytes: int = 500   # the paper's packet length
+    start_time: int = 5 * SEC  # warm-up before traffic (BLESS convergence)
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if self.n_packets < 0:
+            raise ValueError("n_packets must be >= 0")
+        if self.payload_bytes < 0:
+            raise ValueError("payload must be >= 0")
+
+    @property
+    def interval(self) -> int:
+        """Inter-packet gap in ns (constant bit rate)."""
+        return round(SEC / self.rate_pps)
+
+    @property
+    def traffic_end(self) -> int:
+        """When the last packet leaves the source."""
+        return self.start_time + max(0, self.n_packets - 1) * self.interval
+
+
+class MulticastApp:
+    """Per-node multicast forwarding; the root additionally generates."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        mac: MacProtocol,
+        bless: BlessProtocol,
+        config: MulticastConfig,
+        metrics: Optional["MetricsCollector"] = None,
+    ):
+        self.node_id = node_id
+        self.sim = sim
+        self.mac = mac
+        self.bless = bless
+        self.config = config
+        self.metrics = metrics
+        self._seen: Set[int] = set()
+        self._emitted = 0
+        #: Packets that arrived but had no children to forward to.
+        self.leaf_receptions = 0
+
+    @property
+    def is_source(self) -> bool:
+        return self.node_id == self.bless.config.root
+
+    def start(self) -> None:
+        if self.is_source and self.config.n_packets > 0:
+            self.sim.at(self.config.start_time, self._emit, label="app-emit")
+
+    # ------------------------------------------------------------------
+    def _emit(self) -> None:
+        packet = MulticastPacket(
+            pkt_id=self._emitted,
+            origin=self.node_id,
+            created_at=self.sim.now,
+            payload_bytes=self.config.payload_bytes,
+        )
+        self._emitted += 1
+        self._seen.add(packet.pkt_id)
+        if self.metrics is not None:
+            self.metrics.record_generated(packet.pkt_id, self.sim.now)
+        self._forward(packet)
+        if self._emitted < self.config.n_packets:
+            self.sim.after(self.config.interval, self._emit, label="app-emit")
+
+    def on_packet(self, packet: MulticastPacket, from_node: int) -> None:
+        """A multicast packet arrived from the MAC."""
+        if packet.pkt_id in self._seen:
+            return
+        self._seen.add(packet.pkt_id)
+        if self.metrics is not None:
+            self.metrics.record_delivery(
+                self.node_id, packet.pkt_id, self.sim.now - packet.created_at
+            )
+        self._forward(packet)
+
+    def _forward(self, packet: MulticastPacket) -> None:
+        children = self.bless.children()
+        if not children:
+            self.leaf_receptions += 1
+            return
+        self.mac.send_reliable(children, packet, packet.payload_bytes)

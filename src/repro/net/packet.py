@@ -1,0 +1,42 @@
+"""Network-layer packet types.
+
+These ride as the ``payload`` object of MAC data frames;
+``payload_bytes`` (the on-air size) is declared per type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoutingMessage:
+    """The simplified-BLESS one-hop routing broadcast.
+
+    Wire size: origin (6) + hops (1) + parent (6) = 13 bytes of payload;
+    the MAC adds its data-frame header.
+    """
+
+    origin: int
+    hops_to_root: int          # 255 = not joined to the tree
+    parent: int                # -1 = none / root
+
+    WIRE_BYTES = 13
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.WIRE_BYTES
+
+    @property
+    def joined(self) -> bool:
+        return self.hops_to_root < 255
+
+
+@dataclass(frozen=True)
+class MulticastPacket:
+    """One application packet multicast from the source along the tree."""
+
+    pkt_id: int
+    origin: int
+    created_at: int            # ns, at the source
+    payload_bytes: int = 500   # the paper's packet length

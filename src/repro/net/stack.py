@@ -1,0 +1,46 @@
+"""Per-node network layer: dispatches MAC deliveries to BLESS / multicast."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, TYPE_CHECKING
+
+from repro.mac.base import MacProtocol
+from repro.net.bless import BlessConfig, BlessProtocol
+from repro.net.multicast import MulticastApp, MulticastConfig
+from repro.net.packet import MulticastPacket, RoutingMessage
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collectors import MetricsCollector
+
+
+class NetworkLayer:
+    """Glues one node's BLESS instance and multicast app to its MAC."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        mac: MacProtocol,
+        bless_config: BlessConfig,
+        multicast_config: MulticastConfig,
+        rng: random.Random,
+        metrics: Optional["MetricsCollector"] = None,
+    ):
+        self.node_id = node_id
+        self.mac = mac
+        self.bless = BlessProtocol(node_id, sim, mac, bless_config, rng)
+        self.app = MulticastApp(node_id, sim, mac, self.bless, multicast_config, metrics)
+        mac.upper_rx = self.on_receive
+
+    def start(self) -> None:
+        self.bless.start()
+        self.app.start()
+
+    def on_receive(self, payload: object, src: int) -> None:
+        if isinstance(payload, RoutingMessage):
+            self.bless.on_routing_message(payload, src)
+        elif isinstance(payload, MulticastPacket):
+            self.app.on_packet(payload, src)
+        # Unknown payloads (raw test traffic) are dropped silently.

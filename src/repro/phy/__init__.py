@@ -1,0 +1,42 @@
+"""Physical-layer substrate: radios, channels, busy tones, propagation.
+
+This subpackage stands in for GloMoSim's radio/channel models. It provides:
+
+* :mod:`repro.phy.params`      -- IEEE 802.11b timing constants and frame
+  airtime arithmetic (the paper's overhead analysis rests on these).
+* :mod:`repro.phy.propagation` -- propagation models (unit disk, log-distance).
+* :mod:`repro.phy.error`       -- bit-error models.
+* :mod:`repro.phy.channel`     -- the shared data channel with per-receiver
+  collision bookkeeping, carrier sense and abortable transmissions.
+* :mod:`repro.phy.busytone`    -- narrow-band busy-tone channels (RBT/ABT)
+  with presence intervals and lambda-detection semantics.
+* :mod:`repro.phy.radio`       -- the per-node facade a MAC talks to.
+"""
+
+from repro.phy.busytone import BusyToneChannel, ToneType
+from repro.phy.channel import DataChannel, Transmission
+from repro.phy.error import BitErrorModel, NoErrors, UniformBitErrors
+from repro.phy.params import PhyParams, DEFAULT_PHY
+from repro.phy.propagation import (
+    LogDistanceModel,
+    PropagationModel,
+    UnitDiskModel,
+)
+from repro.phy.radio import Radio, RadioListener
+
+__all__ = [
+    "BusyToneChannel",
+    "ToneType",
+    "DataChannel",
+    "Transmission",
+    "BitErrorModel",
+    "NoErrors",
+    "UniformBitErrors",
+    "PhyParams",
+    "DEFAULT_PHY",
+    "PropagationModel",
+    "UnitDiskModel",
+    "LogDistanceModel",
+    "Radio",
+    "RadioListener",
+]

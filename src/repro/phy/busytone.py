@@ -1,0 +1,259 @@
+"""Narrow-band busy-tone channels (RBT and ABT).
+
+Semantics, following Section 3 of the paper:
+
+* A tone emitted by node E becomes *present* at listener L one link
+  propagation delay after E turns it on, and stops being present one
+  link delay after E turns it off. Presence from multiple emitters is
+  OR-ed. A node never senses its own emission.
+* *Detection* of a tone requires lambda = 15 us (the 802.11b CCA time)
+  of continuous presence. Two detection mechanisms are offered:
+
+  - ``watch_detection``: fires a callback at the first moment a tone has
+    been present for lambda (used for RMAC's abort-on-RBT, where the
+    paper's "tiny interval" between RBT-on and abort is tau + lambda);
+  - ``longest_presence``: the longest continuously-present stretch within
+    a half-open window ``(t0, t1]`` (used by the sender's per-receiver
+    ABT windows; a window detects its receiver iff the stretch >= lambda).
+    Attributing *presence* rather than emitter identity to a window is
+    what lets the model reproduce the paper's "mixed-up ABT" phenomenon
+    (Fig. 5) instead of assuming oracle knowledge.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.phy.neighbors import NeighborService
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class ToneType(enum.Enum):
+    """The two busy tones RMAC introduces."""
+
+    RBT = "RBT"
+    ABT = "ABT"
+
+
+class _Emission:
+    __slots__ = ("emitter", "start", "end", "link_delays")
+
+    def __init__(self, emitter: int, start: int, link_delays: Dict[int, int]):
+        self.emitter = emitter
+        self.start = start
+        self.end: Optional[int] = None
+        #: listener node -> propagation delay (frozen at emission start)
+        self.link_delays = link_delays
+
+
+class BusyToneChannel:
+    """One narrow-band tone channel shared by all nodes."""
+
+    #: Finished emissions older than this (ns) are pruned; ABT window
+    #: queries only ever look back a few hundred microseconds.
+    RETENTION = 2_000_000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        neighbors: NeighborService,
+        tone: ToneType,
+        detect_time: int,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self._sim = sim
+        self._neighbors = neighbors
+        self.tone = tone
+        #: lambda: continuous presence needed for detection (ns).
+        self.detect_time = int(detect_time)
+        self._tracer = tracer
+        self._active: Dict[int, _Emission] = {}
+        self._recent: List[_Emission] = []
+        self._present: Dict[int, int] = {}
+        #: One-shot callbacks fired when the tone clears at a node.
+        self._clear_waiters: Dict[int, List[Callable[[], None]]] = {}
+        #: node -> (callback, pending detection event handles)
+        self._watchers: Dict[int, Tuple[Callable[[ToneType], None], List[EventHandle]]] = {}
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def turn_on(self, emitter: int) -> None:
+        """Start emitting the tone from ``emitter``."""
+        if emitter in self._active:
+            raise RuntimeError(f"node {emitter} already emits {self.tone.value}")
+        now = self._sim.now
+        links = self._neighbors.links_from(emitter, now)
+        emission = _Emission(emitter, now, {l.node: l.delay_ns for l in links})
+        self._active[emitter] = emission
+        for node, delay in emission.link_delays.items():
+            self._sim.at(now + delay, _PresenceDelta(self, node, +1), label="tone-on")
+            self._schedule_detection(emission, node, now + delay + self.detect_time)
+        self._tracer.emit(now, emitter, f"{self.tone.value.lower()}-on")
+
+    def turn_off(self, emitter: int) -> None:
+        """Stop emitting the tone from ``emitter``."""
+        emission = self._active.pop(emitter, None)
+        if emission is None:
+            raise RuntimeError(f"node {emitter} does not emit {self.tone.value}")
+        now = self._sim.now
+        emission.end = now
+        for node, delay in emission.link_delays.items():
+            self._sim.at(now + delay, _PresenceDelta(self, node, -1), label="tone-off")
+        self._recent.append(emission)
+        self._prune(now)
+        self._tracer.emit(now, emitter, f"{self.tone.value.lower()}-off")
+
+    def pulse(self, emitter: int, duration: int) -> None:
+        """Emit the tone for exactly ``duration`` ns (used for ABT)."""
+        self.turn_on(emitter)
+        self._sim.after(duration, lambda: self.turn_off(emitter), label="tone-pulse-end")
+
+    def is_emitting(self, emitter: int) -> bool:
+        return emitter in self._active
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def present(self, node: int) -> bool:
+        """Instantaneous presence of the tone at ``node`` (excludes self)."""
+        return self._present.get(node, 0) > 0
+
+    def longest_presence(self, node: int, t0: int, t1: int) -> int:
+        """Longest continuously-present stretch at ``node`` within ``(t0, t1]``.
+
+        Merges presence intervals from all relevant emitters (active and
+        recently finished), clips to the window, and returns the longest
+        merged segment in ns. The query time must be >= ``t1``.
+        """
+        if t1 > self._sim.now:
+            raise ValueError("cannot query presence in the future")
+        intervals: List[Tuple[int, int]] = []
+        for emission in list(self._active.values()) + self._recent:
+            delay = emission.link_delays.get(node)
+            if delay is None:
+                continue
+            lo = emission.start + delay
+            hi = (emission.end + delay) if emission.end is not None else t1
+            lo = max(lo, t0)
+            hi = min(hi, t1)
+            if hi > lo:
+                intervals.append((lo, hi))
+        if not intervals:
+            return 0
+        intervals.sort()
+        best = 0
+        cur_lo, cur_hi = intervals[0]
+        for lo, hi in intervals[1:]:
+            if lo <= cur_hi:
+                cur_hi = max(cur_hi, hi)
+            else:
+                best = max(best, cur_hi - cur_lo)
+                cur_lo, cur_hi = lo, hi
+        return max(best, cur_hi - cur_lo)
+
+    # ------------------------------------------------------------------
+    # Detection watchers (RMAC's abort-on-RBT)
+    # ------------------------------------------------------------------
+    def watch_detection(self, node: int, callback: Callable[[ToneType], None]) -> None:
+        """Arm a detection watcher at ``node``.
+
+        The callback fires as soon as any in-range emission has been
+        present for ``detect_time`` -- including emissions already active
+        but not yet detectable when the watcher is armed (the race that
+        makes MRTS abortion possible at all, per Section 3.3.2 note 3).
+        """
+        if node in self._watchers:
+            raise RuntimeError(f"node {node} already watches {self.tone.value}")
+        self._watchers[node] = (callback, [])
+        now = self._sim.now
+        for emission in self._active.values():
+            delay = emission.link_delays.get(node)
+            if delay is None:
+                continue
+            detect_at = emission.start + delay + self.detect_time
+            if detect_at >= now:
+                self._schedule_detection(emission, node, detect_at)
+            else:
+                # Tone already detectable: fire immediately (still async,
+                # so the caller's state settles first).
+                self._schedule_detection(emission, node, now)
+
+    def unwatch_detection(self, node: int) -> None:
+        """Disarm the watcher at ``node`` (no-op if absent)."""
+        entry = self._watchers.pop(node, None)
+        if entry is None:
+            return
+        for handle in entry[1]:
+            handle.cancel()
+
+    def _schedule_detection(self, emission: _Emission, node: int, when: int) -> None:
+        entry = self._watchers.get(node)
+        if entry is None:
+            return
+        handle = self._sim.at(
+            when, _DetectionCheck(self, emission, node), label="tone-detect"
+        )
+        entry[1].append(handle)
+
+    def _run_detection(self, emission: _Emission, node: int) -> None:
+        entry = self._watchers.get(node)
+        if entry is None:
+            return
+        # Valid only if the emission lasted the full detection time.
+        if emission.end is not None and emission.end < emission.start + self.detect_time:
+            return
+        callback, _handles = entry
+        self.unwatch_detection(node)
+        callback(self.tone)
+
+    # ------------------------------------------------------------------
+    def notify_clear(self, node: int, callback: Callable[[], None]) -> None:
+        """Register a one-shot callback for the next present->absent
+        transition at ``node``. Fires immediately if already absent."""
+        if not self.present(node):
+            callback()
+            return
+        self._clear_waiters.setdefault(node, []).append(callback)
+
+    def _apply_presence(self, node: int, delta: int) -> None:
+        value = self._present.get(node, 0) + delta
+        if value:
+            self._present[node] = value
+        else:
+            self._present.pop(node, None)
+            waiters = self._clear_waiters.pop(node, None)
+            if waiters:
+                for callback in waiters:
+                    callback()
+
+    def _prune(self, now: int) -> None:
+        if len(self._recent) > 32:
+            cutoff = now - self.RETENTION
+            self._recent = [e for e in self._recent if e.end is None or e.end >= cutoff]
+
+
+class _PresenceDelta:
+    __slots__ = ("channel", "node", "delta")
+
+    def __init__(self, channel: BusyToneChannel, node: int, delta: int):
+        self.channel = channel
+        self.node = node
+        self.delta = delta
+
+    def __call__(self) -> None:
+        self.channel._apply_presence(self.node, self.delta)
+
+
+class _DetectionCheck:
+    __slots__ = ("channel", "emission", "node")
+
+    def __init__(self, channel: BusyToneChannel, emission: _Emission, node: int):
+        self.channel = channel
+        self.emission = emission
+        self.node = node
+
+    def __call__(self) -> None:
+        self.channel._run_detection(self.emission, self.node)

@@ -1,0 +1,333 @@
+"""The shared data channel.
+
+Models GloMoSim-style frame transmission with:
+
+* per-link propagation delay (distance / c, bounded by the paper's
+  tau = 1 us for ranges under 300 m);
+* carrier sense via per-node busy counters maintained by arrival events;
+* the overlap collision model: a reception is corrupted if any other
+  sensed transmission overlaps it at the receiver, if the receiver itself
+  transmits during it, if the sender aborts mid-frame (RMAC's
+  abort-on-RBT), or if the bit-error model corrupts it;
+* abortable transmissions (truncated frames shorten the busy interval
+  and are never delivered).
+
+The channel is protocol-agnostic: RMAC, 802.11 DCF, BMMM and BMW all
+run on the same instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Protocol
+
+from repro.phy.error import BitErrorModel, NoErrors
+from repro.phy.neighbors import Link, NeighborService
+from repro.phy.params import PhyParams
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class ChannelListener(Protocol):
+    """Callbacks a radio receives from the data channel."""
+
+    def on_frame_received(self, frame: object, sender: int) -> None:
+        """A frame arrived intact."""
+
+    def on_frame_error(self, sender: int) -> None:
+        """A frame arrived but was corrupted (collision/abort/bit errors)."""
+
+    def on_rx_start(self, sender: int) -> None:
+        """The first bit of a decodable frame is arriving (RMAC's
+        ``Twf_rdata`` cancels on this)."""
+
+    def on_tx_complete(self, frame: object, aborted: bool) -> None:
+        """This node's own transmission finished (or was aborted)."""
+
+
+class Transmission:
+    """One in-flight frame transmission."""
+
+    __slots__ = ("sender", "frame", "start", "airtime", "links", "aborted_at", "_end_event")
+
+    def __init__(self, sender: int, frame: object, start: int, airtime: int, links: list[Link]):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.airtime = airtime
+        self.links = links
+        self.aborted_at: Optional[int] = None
+        self._end_event: Optional[EventHandle] = None
+
+    @property
+    def end(self) -> int:
+        """Actual end of the transmission (scheduled end, or abort time)."""
+        return self.aborted_at if self.aborted_at is not None else self.start + self.airtime
+
+    @property
+    def aborted(self) -> bool:
+        return self.aborted_at is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " aborted" if self.aborted else ""
+        return f"<Transmission from {self.sender} [{self.start}..{self.end}]{flag}>"
+
+
+class _Reception:
+    __slots__ = ("tx", "corrupted", "power_dbm")
+
+    def __init__(self, tx: Transmission, corrupted: bool, power_dbm=None):
+        self.tx = tx
+        self.corrupted = corrupted
+        self.power_dbm = power_dbm
+
+
+class DataChannel:
+    """The shared wideband data channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        neighbors: NeighborService,
+        phy: PhyParams,
+        error_model: Optional[BitErrorModel] = None,
+        rng: Optional[random.Random] = None,
+        tracer: Tracer = NULL_TRACER,
+        capture_threshold_db: Optional[float] = None,
+    ):
+        self._sim = sim
+        self._neighbors = neighbors
+        self._phy = phy
+        self._error_model = error_model or NoErrors()
+        self._rng = rng or random.Random(0)
+        self._tracer = tracer
+        #: Capture effect (extension): when set, an overlapping frame
+        #: survives if its received power beats every interferer by this
+        #: many dB. Requires a propagation model that reports power
+        #: (LogDistanceModel). None = the paper's all-overlaps-collide
+        #: model. Late capture (a strong frame arriving mid-reception of
+        #: a weak one) kills the weak reception; the strong one survives
+        #: only if it clears the margin over all concurrent signals.
+        self.capture_threshold_db = capture_threshold_db
+        #: node -> {transmission: power_dbm} of signals currently in the
+        #: air at that node (capture mode only).
+        self._signal_powers: Dict[int, Dict[Transmission, float]] = {}
+        self._busy: Dict[int, int] = {}
+        self._receiving: Dict[int, Dict[Transmission, _Reception]] = {}
+        self._transmitting: Dict[int, Transmission] = {}
+        self._listeners: Dict[int, ChannelListener] = {}
+        #: When each node last observed the medium become idle (for DIFS).
+        self._last_busy_end: Dict[int, int] = {}
+        #: One-shot callbacks fired when a node's medium goes idle (used by
+        #: the MACs to avoid per-slot polling through long busy periods).
+        self._idle_waiters: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, node: int, listener: ChannelListener) -> None:
+        """Register the listener (radio) for ``node``."""
+        self._listeners[node] = listener
+
+    @property
+    def phy(self) -> PhyParams:
+        return self._phy
+
+    @property
+    def neighbors(self) -> NeighborService:
+        return self._neighbors
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def busy(self, node: int) -> bool:
+        """Carrier sense at ``node``: any sensed transmission, or own tx."""
+        return self._busy.get(node, 0) > 0 or node in self._transmitting
+
+    def is_transmitting(self, node: int) -> bool:
+        return node in self._transmitting
+
+    def idle_duration(self, node: int) -> int:
+        """How long the medium has been continuously idle at ``node`` (ns).
+
+        Zero while busy. Used by the 802.11-family DIFS rule; RMAC does
+        not need it (no interframe spaces).
+        """
+        if self.busy(node):
+            return 0
+        return self._sim.now - self._last_busy_end.get(node, 0)
+
+    def notify_idle(self, node: int, callback) -> None:
+        """Register a one-shot callback for the next busy->idle transition
+        at ``node``. Fires immediately (synchronously) if already idle."""
+        if not self.busy(node):
+            callback()
+            return
+        self._idle_waiters.setdefault(node, []).append(callback)
+
+    def _fire_idle(self, node: int) -> None:
+        waiters = self._idle_waiters.pop(node, None)
+        if waiters:
+            for callback in waiters:
+                callback()
+
+    def current_tx(self, node: int) -> Optional[Transmission]:
+        return self._transmitting.get(node)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, sender: int, frame: object) -> Transmission:
+        """Start transmitting ``frame`` (with ``size_bytes``) from ``sender``."""
+        if sender in self._transmitting:
+            raise RuntimeError(f"node {sender} is already transmitting")
+        now = self._sim.now
+        airtime = self._phy.frame_airtime(frame.size_bytes)  # type: ignore[attr-defined]
+        links = self._neighbors.links_from(sender, now)
+        tx = Transmission(sender, frame, now, airtime, links)
+        self._transmitting[sender] = tx
+        # Transmitting while receiving destroys the ongoing receptions
+        # (half-duplex radio).
+        for rec in self._receiving.get(sender, {}).values():
+            rec.corrupted = True
+        for link in links:
+            self._sim.at(now + link.delay_ns, _ArrivalStart(self, tx, link), label="rx-start")
+        tx._end_event = self._sim.at(now + airtime, lambda: self._finish_tx(tx), label="tx-end")
+        self._tracer.emit(now, sender, "tx-start", frame=str(frame), airtime=airtime)
+        return tx
+
+    def abort(self, tx: Transmission) -> None:
+        """Abort an in-flight transmission (RMAC's abort-on-RBT).
+
+        The truncated frame is never delivered; nodes that had begun
+        receiving it see a frame error at the truncated end time.
+        """
+        if tx.aborted:
+            return
+        if self._transmitting.get(tx.sender) is not tx:
+            raise RuntimeError("cannot abort: transmission is not active")
+        now = self._sim.now
+        tx.aborted_at = now
+        if tx._end_event is not None:
+            tx._end_event.cancel()
+            tx._end_event = None
+        del self._transmitting[tx.sender]
+        if self._busy.get(tx.sender, 0) == 0:
+            self._last_busy_end[tx.sender] = now
+            self._fire_idle(tx.sender)
+        for link in tx.links:
+            self._sim.at(now + link.delay_ns, _ArrivalEnd(self, tx, link), label="rx-end")
+        self._tracer.emit(now, tx.sender, "tx-abort", frame=str(tx.frame))
+        listener = self._listeners.get(tx.sender)
+        if listener is not None:
+            listener.on_tx_complete(tx.frame, aborted=True)
+
+    def _finish_tx(self, tx: Transmission) -> None:
+        del self._transmitting[tx.sender]
+        tx._end_event = None
+        end = self._sim.now
+        if self._busy.get(tx.sender, 0) == 0:
+            self._last_busy_end[tx.sender] = end
+            self._fire_idle(tx.sender)
+        for link in tx.links:
+            self._sim.at(end + link.delay_ns, _ArrivalEnd(self, tx, link), label="rx-end")
+        self._tracer.emit(end, tx.sender, "tx-end", frame=str(tx.frame))
+        listener = self._listeners.get(tx.sender)
+        if listener is not None:
+            listener.on_tx_complete(tx.frame, aborted=False)
+
+    # ------------------------------------------------------------------
+    # Arrival bookkeeping (driven by scheduled events)
+    # ------------------------------------------------------------------
+    def _arrival_start(self, tx: Transmission, link: Link) -> None:
+        node = link.node
+        prior = self._busy.get(node, 0)
+        self._busy[node] = prior + 1
+        ongoing = self._receiving.setdefault(node, {})
+        corrupted = False
+        capture = self.capture_threshold_db is not None and link.power_dbm is not None
+        if capture:
+            signals = self._signal_powers.setdefault(node, {})
+            if prior > 0:
+                threshold = self.capture_threshold_db
+                # The newcomer corrupts receptions it is not dominated by.
+                for rec in ongoing.values():
+                    if rec.power_dbm is None or (
+                        rec.power_dbm - link.power_dbm < threshold
+                    ):
+                        rec.corrupted = True
+                # The newcomer survives only if it dominates every signal.
+                strongest = max(signals.values(), default=-1e9)
+                corrupted = link.power_dbm - strongest < threshold
+            signals[tx] = link.power_dbm
+        elif prior > 0:
+            # Overlap: this arrival collides with everything already in the
+            # air at this node, and vice versa (the paper's model).
+            for rec in ongoing.values():
+                rec.corrupted = True
+            corrupted = True
+        if node in self._transmitting:
+            corrupted = True
+        if link.in_rx_range:
+            ongoing[tx] = _Reception(tx, corrupted, link.power_dbm)
+            listener = self._listeners.get(node)
+            if listener is not None:
+                listener.on_rx_start(tx.sender)
+
+    def _arrival_end(self, tx: Transmission, link: Link) -> None:
+        node = link.node
+        if self.capture_threshold_db is not None:
+            self._signal_powers.get(node, {}).pop(tx, None)
+        self._busy[node] = self._busy.get(node, 1) - 1
+        if self._busy[node] <= 0:
+            del self._busy[node]
+            if node not in self._transmitting:
+                self._last_busy_end[node] = self._sim.now
+                self._fire_idle(node)
+        rec = self._receiving.get(node, {}).pop(tx, None)
+        if rec is None:
+            return
+        listener = self._listeners.get(node)
+        if listener is None:
+            return
+        frame = tx.frame
+        size = frame.size_bytes  # type: ignore[attr-defined]
+        ok = (
+            not rec.corrupted
+            and not tx.aborted
+            and not self._error_model.corrupts(size, self._rng)
+        )
+        if ok:
+            self._tracer.emit(self._sim.now, node, "rx-ok", frame=str(frame), sender=tx.sender)
+            listener.on_frame_received(frame, tx.sender)
+        else:
+            self._tracer.emit(self._sim.now, node, "rx-error", frame=str(frame), sender=tx.sender)
+            listener.on_frame_error(tx.sender)
+
+
+class _ArrivalStart:
+    """Bound arrival-start event (avoids per-event lambda allocations)."""
+
+    __slots__ = ("channel", "tx", "link")
+
+    def __init__(self, channel: DataChannel, tx: Transmission, link: Link):
+        self.channel = channel
+        self.tx = tx
+        self.link = link
+
+    def __call__(self) -> None:
+        self.channel._arrival_start(self.tx, self.link)
+
+
+class _ArrivalEnd:
+    """Bound arrival-end event."""
+
+    __slots__ = ("channel", "tx", "link")
+
+    def __init__(self, channel: DataChannel, tx: Transmission, link: Link):
+        self.channel = channel
+        self.tx = tx
+        self.link = link
+
+    def __call__(self) -> None:
+        self.channel._arrival_end(self.tx, self.link)

@@ -1,0 +1,170 @@
+"""Neighborhood evaluation: who hears whom, and with what delay.
+
+The data channel and the busy-tone channels both need, at the moment a
+transmission (or tone emission) starts, the set of nodes that will sense
+it and the per-link propagation delay. This module centralizes that
+computation over a position provider:
+
+* static scenarios: the full result is computed once per sender and reused;
+* mobile scenarios: results are cached for a configurable window
+  (default 50 ms -- at the paper's top speed of 8 m/s a node moves 0.4 mm
+  per us and 0.4 m per 50 ms, negligible against the 75 m radio range).
+  Set ``cache_window=0`` for exact per-call evaluation.
+
+Distances are computed with numpy against all node positions at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, Sequence
+
+import numpy as np
+
+from repro.phy.propagation import PropagationModel
+
+#: Speed of light in meters per nanosecond.
+_LIGHT_SPEED_M_PER_NS = 0.299792458
+
+
+def propagation_delay_ns(distance_m: float) -> int:
+    """One-way propagation delay for ``distance_m`` meters, >= 1 ns."""
+    return max(1, round(distance_m / _LIGHT_SPEED_M_PER_NS))
+
+
+class PositionProvider(Protocol):
+    """Supplies node positions at a simulation time (ns)."""
+
+    def positions(self, time_ns: int) -> np.ndarray:
+        """(N, 2) float array of node positions in meters."""
+
+    def is_static(self) -> bool:
+        """True if positions never change (enables permanent caching)."""
+
+
+class StaticPositions:
+    """A trivial provider for fixed node placements."""
+
+    def __init__(self, coords: Sequence[Sequence[float]]):
+        self._coords = np.asarray(coords, dtype=float)
+        if self._coords.ndim != 2 or self._coords.shape[1] != 2:
+            raise ValueError("coords must be an (N, 2) array-like")
+        self._coords.setflags(write=False)
+
+    def positions(self, time_ns: int) -> np.ndarray:
+        return self._coords
+
+    def is_static(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+
+@dataclass(frozen=True)
+class Link:
+    """One receiver of a transmission: its id, link delay, decodability."""
+
+    node: int
+    delay_ns: int
+    in_rx_range: bool  # False => carrier-sensed only (cannot decode)
+    #: Received power at the node (dBm) when the propagation model can
+    #: compute it (LogDistanceModel); None for pure unit-disk models.
+    #: Feeds the optional capture-effect collision resolution.
+    power_dbm: float = None  # type: ignore[assignment]
+
+
+class NeighborService:
+    """Computes and caches per-sender neighbor/link information."""
+
+    def __init__(
+        self,
+        provider: PositionProvider,
+        model: PropagationModel,
+        cache_window: int = 50_000_000,
+    ):
+        self._provider = provider
+        self._model = model
+        self._static = provider.is_static()
+        self._cache_window = int(cache_window)
+        self._cache: Dict[int, tuple[int, List[Link]]] = {}
+        self._pos_cache_time: int = -1
+        self._pos_cache: np.ndarray | None = None
+
+    @property
+    def model(self) -> PropagationModel:
+        return self._model
+
+    def positions_at(self, time_ns: int) -> np.ndarray:
+        """Positions at ``time_ns`` (cached within the mobility window)."""
+        if self._static:
+            if self._pos_cache is None:
+                self._pos_cache = self._provider.positions(0)
+            return self._pos_cache
+        bucket = time_ns if self._cache_window == 0 else time_ns - time_ns % self._cache_window
+        if bucket != self._pos_cache_time:
+            self._pos_cache = self._provider.positions(bucket)
+            self._pos_cache_time = bucket
+        assert self._pos_cache is not None
+        return self._pos_cache
+
+    def links_from(self, sender: int, time_ns: int) -> List[Link]:
+        """All nodes that sense a transmission from ``sender`` at ``time_ns``.
+
+        Excludes the sender itself. For each, reports the propagation delay
+        and whether the node can actually decode (vs carrier-sense only).
+        """
+        if self._static:
+            cached = self._cache.get(sender)
+            if cached is not None:
+                return cached[1]
+        else:
+            cached = self._cache.get(sender)
+            if cached is not None:
+                cached_time, links = cached
+                if self._cache_window and 0 <= time_ns - cached_time < self._cache_window:
+                    return links
+        links = self._compute_links(sender, time_ns)
+        self._cache[sender] = (time_ns, links)
+        return links
+
+    def _compute_links(self, sender: int, time_ns: int) -> List[Link]:
+        pos = self.positions_at(time_ns)
+        if not 0 <= sender < len(pos):
+            raise ValueError(f"unknown sender id {sender}")
+        deltas = pos - pos[sender]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        links: List[Link] = []
+        max_range = self._model.max_range()
+        candidates = np.flatnonzero(dists <= max_range)
+        power_fn = getattr(self._model, "received_power_dbm", None)
+        for node in candidates:
+            if node == sender:
+                continue
+            d = float(dists[node])
+            if not self._model.carrier_sensed(d):
+                continue
+            links.append(
+                Link(
+                    node=int(node),
+                    delay_ns=propagation_delay_ns(d),
+                    in_rx_range=self._model.in_range(d),
+                    power_dbm=float(power_fn(d)) if power_fn is not None else None,
+                )
+            )
+        return links
+
+    def distance(self, a: int, b: int, time_ns: int) -> float:
+        """Distance in meters between nodes ``a`` and ``b`` at ``time_ns``."""
+        pos = self.positions_at(time_ns)
+        return float(np.hypot(*(pos[a] - pos[b])))
+
+    def in_rx_range(self, a: int, b: int, time_ns: int) -> bool:
+        """True if ``b`` can decode frames from ``a`` at ``time_ns``."""
+        return self._model.in_range(self.distance(a, b, time_ns))
+
+    def invalidate(self) -> None:
+        """Drop all cached neighbor sets (used by tests and topology changes)."""
+        self._cache.clear()
+        self._pos_cache = None
+        self._pos_cache_time = -1

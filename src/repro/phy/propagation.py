@@ -1,0 +1,114 @@
+"""Propagation models.
+
+The paper's evaluation uses a fixed 75 m radio range (GloMoSim's default
+range-threshold behaviour), which the :class:`UnitDiskModel` reproduces.
+:class:`LogDistanceModel` is provided as an extension for ablations: it
+computes a received-power-vs-threshold decision from a log-distance path
+loss, which still reduces to a deterministic circular range but documents
+where a fading model would plug in.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class PropagationModel(ABC):
+    """Decides whether a transmission is receivable and senseable."""
+
+    @abstractmethod
+    def in_range(self, distance: float) -> bool:
+        """True if a frame can be received at ``distance`` meters."""
+
+    @abstractmethod
+    def max_range(self) -> float:
+        """An upper bound on the reception distance (for spatial pruning)."""
+
+    def carrier_sensed(self, distance: float) -> bool:
+        """True if a transmission at ``distance`` raises carrier sense.
+
+        Defaults to the reception range; subclasses may extend it (real
+        radios sense further than they decode).
+        """
+        return self.in_range(distance)
+
+
+class UnitDiskModel(PropagationModel):
+    """Fixed circular radio range (the paper's model; default 75 m)."""
+
+    def __init__(self, radio_range: float = 75.0, sense_range: float | None = None):
+        if radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        self.radio_range = float(radio_range)
+        self.sense_range = float(sense_range) if sense_range is not None else self.radio_range
+        if self.sense_range < self.radio_range:
+            raise ValueError("sense_range must be >= radio_range")
+
+    def in_range(self, distance: float) -> bool:
+        return distance <= self.radio_range
+
+    def carrier_sensed(self, distance: float) -> bool:
+        return distance <= self.sense_range
+
+    def max_range(self) -> float:
+        return self.sense_range
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UnitDiskModel(range={self.radio_range}m, sense={self.sense_range}m)"
+
+
+class LogDistanceModel(PropagationModel):
+    """Log-distance path loss with a reception power threshold.
+
+    ``PL(d) = PL(d0) + 10 * n * log10(d / d0)`` dB. A frame is receivable
+    when ``tx_power_dbm - PL(d) >= rx_threshold_dbm`` and carrier-sensed
+    when it clears ``cs_threshold_dbm`` (typically ~10 dB lower).
+    """
+
+    def __init__(
+        self,
+        tx_power_dbm: float = 15.0,
+        path_loss_exponent: float = 2.8,
+        reference_loss_db: float = 40.0,
+        reference_distance: float = 1.0,
+        rx_threshold_dbm: float = -65.0,
+        cs_threshold_dbm: float = -75.0,
+    ):
+        if path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if cs_threshold_dbm > rx_threshold_dbm:
+            raise ValueError("carrier-sense threshold must not exceed rx threshold")
+        self.tx_power_dbm = tx_power_dbm
+        self.path_loss_exponent = path_loss_exponent
+        self.reference_loss_db = reference_loss_db
+        self.reference_distance = reference_distance
+        self.rx_threshold_dbm = rx_threshold_dbm
+        self.cs_threshold_dbm = cs_threshold_dbm
+
+    def received_power_dbm(self, distance: float) -> float:
+        """Received power at ``distance`` meters (clamped to d0 up close)."""
+        d = max(distance, self.reference_distance)
+        loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            d / self.reference_distance
+        )
+        return self.tx_power_dbm - loss
+
+    def _range_for_threshold(self, threshold_dbm: float) -> float:
+        margin = self.tx_power_dbm - self.reference_loss_db - threshold_dbm
+        return self.reference_distance * 10.0 ** (margin / (10.0 * self.path_loss_exponent))
+
+    def in_range(self, distance: float) -> bool:
+        return self.received_power_dbm(distance) >= self.rx_threshold_dbm
+
+    def carrier_sensed(self, distance: float) -> bool:
+        return self.received_power_dbm(distance) >= self.cs_threshold_dbm
+
+    def max_range(self) -> float:
+        return self._range_for_threshold(self.cs_threshold_dbm)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"LogDistanceModel(n={self.path_loss_exponent}, "
+            f"rx_range={self._range_for_threshold(self.rx_threshold_dbm):.1f}m)"
+        )

@@ -1,0 +1,69 @@
+"""Restartable one-shot timers.
+
+RMAC's procedure description is written in terms of named timers
+(``Twf_rbt``, ``Twf_rdata``, ``Ttx_abt``, ``Twf_abt``); this class gives
+each of them a start/cancel/expired lifecycle on top of the raw event
+queue, so the protocol code reads like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Timer:
+    """A named, restartable one-shot timer.
+
+    ``start(delay)`` (re)arms the timer; starting a running timer cancels
+    the previous arming first, matching the paper's "sets up the timer"
+    wording. The callback receives no arguments.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None], name: str = "timer"):
+        self._sim = sim
+        self._callback = callback
+        self._name = name
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def running(self) -> bool:
+        """True while armed and not yet fired/cancelled."""
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def expires_at(self) -> Optional[int]:
+        """Absolute expiry time, or None if not running."""
+        if self.running:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def start(self, delay: int) -> None:
+        """Arm the timer to fire ``delay`` ns from now (restarts if running)."""
+        self.cancel()
+        self._handle = self._sim.after(delay, self._fire, label=self._name)
+
+    def start_at(self, time: int) -> None:
+        """Arm the timer to fire at absolute time ``time`` (restarts if running)."""
+        self.cancel()
+        self._handle = self._sim.at(time, self._fire, label=self._name)
+
+    def cancel(self) -> None:
+        """Disarm the timer if running; otherwise a no-op."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"expires@{self.expires_at}" if self.running else "idle"
+        return f"<Timer {self._name} {state}>"

@@ -1,0 +1,77 @@
+"""Time units for the simulation clock.
+
+The simulator runs on an **integer nanosecond** clock. Every duration used
+by the protocols in this repository (slot time 20 us, CCA 15 us, one bit at
+1 or 2 Mb/s, ...) is an exact integer number of nanoseconds, so all timing
+arithmetic is exact and runs are bit-for-bit reproducible from a seed.
+Floating-point time (as used by e.g. SimPy) would make equality of event
+times -- which RMAC's ABT window attribution relies on -- fragile.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base tick).
+NS: int = 1
+#: One microsecond in nanoseconds.
+US: int = 1_000
+#: One millisecond in nanoseconds.
+MS: int = 1_000_000
+#: One second in nanoseconds.
+SEC: int = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds.
+
+    Raises :class:`ValueError` if the value is not an exact number of
+    nanoseconds (protocol constants must be exact).
+    """
+    scaled = value * US
+    result = round(scaled)
+    if abs(scaled - result) > 1e-6:
+        raise ValueError(f"{value} us is not an integral number of ns")
+    return result
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return us(value * 1_000)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return us(value * 1_000_000)
+
+
+def ns_to_s(t: int) -> float:
+    """Convert integer nanoseconds to float seconds (for reporting only)."""
+    return t / SEC
+
+
+def ns_to_us(t: int) -> float:
+    """Convert integer nanoseconds to float microseconds."""
+    return t / US
+
+
+def s_to_ns(t: float) -> int:
+    """Convert float seconds to integer nanoseconds (rounds to nearest ns)."""
+    return round(t * SEC)
+
+
+def format_time(t: int) -> str:
+    """Human-readable rendering of a simulation time, e.g. ``1.204303s``.
+
+    Picks the largest unit that keeps the number readable; used in traces
+    and error messages.
+    """
+    if t == 0:
+        return "0"
+    if t % SEC == 0:
+        return f"{t // SEC}s"
+    if abs(t) >= SEC:
+        return f"{t / SEC:.6f}s"
+    if abs(t) >= MS:
+        return f"{t / MS:.3f}ms"
+    if abs(t) >= US:
+        return f"{t / US:.3f}us"
+    return f"{t}ns"

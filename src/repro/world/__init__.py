@@ -1,0 +1,14 @@
+"""Assembly: placements, node stacks, and full simulated networks.
+
+* :mod:`repro.world.testbed`   -- protocol-level assembly (sim + channels +
+  radios + MAC instances) used by tests, examples and the MAC-only benches.
+* :mod:`repro.world.placement` -- random node placement and connectivity
+  checks for the paper's 75-node, 500 m x 300 m topologies.
+* :mod:`repro.world.network`   -- the full stack (mobility + PHY + MAC +
+  BLESS tree + multicast application) built from a scenario config.
+"""
+
+from repro.world.placement import connected_components, random_placement
+from repro.world.testbed import MacTestbed
+
+__all__ = ["MacTestbed", "random_placement", "connected_components"]

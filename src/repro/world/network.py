@@ -1,0 +1,237 @@
+"""Full-stack network assembly from a scenario description.
+
+A :class:`ScenarioConfig` describes one experiment run exactly as
+Section 4.1 does: node count, plain, radio range, mobility setting,
+MAC protocol under test, source rate, packet count, seed.
+:func:`build_network` wires placement -> mobility -> PHY -> MAC ->
+BLESS -> multicast app -> metrics, and :meth:`Network.run` executes the
+run and returns the :class:`~repro.metrics.summary.RunSummary`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import RmacConfig
+from repro.core.rmac import RmacProtocol
+from repro.mac.base import MacProtocol
+from repro.mac.bmmm import BmmmProtocol
+from repro.mac.dot11 import Dot11Config, Dot11Dcf
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.summary import RunSummary, summarize
+from repro.mobility.base import MobilityProvider
+from repro.mobility.stationary import StationaryModel
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.net.bless import BlessConfig
+from repro.net.multicast import MulticastConfig
+from repro.net.stack import NetworkLayer
+from repro.sim.rng import derive_seed
+from repro.sim.units import SEC
+from repro.world.placement import random_placement
+from repro.world.testbed import MacTestbed
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One experiment run (defaults follow Section 4.1)."""
+
+    protocol: str = "rmac"
+    n_nodes: int = 75
+    width: float = 500.0
+    height: float = 300.0
+    radio_range: float = 75.0
+    #: "stationary", or random waypoint with the speeds below.
+    mobile: bool = False
+    min_speed: float = 0.0
+    max_speed: float = 4.0
+    pause_s: float = 10.0
+    rate_pps: float = 10.0
+    n_packets: int = 200
+    payload_bytes: int = 500
+    seed: int = 1
+    warmup_s: float = 5.0
+    #: Extra time after the last source emission for in-flight packets.
+    drain_s: float = 5.0
+    #: BLESS heartbeat. The paper does not give its routing period; these
+    #: defaults are calibrated against its Fig. 7: a 0.5 s heartbeat with
+    #: a 4-period expiry keeps static delivery ~1.0 (shorter expiries let
+    #: clustered hello losses evict live children under load) while
+    #: repairing mobile trees fast enough to approach the paper's mobile
+    #: delivery levels. The ablation bench sweeps the sensitivity.
+    bless_period_s: float = 0.5
+    bless_expiry_s: float = 2.0
+    require_connected: bool = True
+    trace: bool = False
+    #: Uniform bit-error rate on the data channel (0 = collision-only
+    #: losses, the paper's setting). Section 3.4 notes the MRTS cap
+    #: "can be further reduced in case of high error bit rate"; the BER
+    #: ablation bench sweeps this.
+    ber: float = 0.0
+    #: Protocol-config overrides (e.g. {"retry_limit": 4}).
+    mac_overrides: dict = field(default_factory=dict)
+
+    def variant(self, **changes) -> "ScenarioConfig":
+        """A copy with fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+
+#: MAC factory registry: name -> (node_id, testbed, rng, overrides) -> MAC.
+MacFactory = Callable[[int, MacTestbed, random.Random, dict], MacProtocol]
+
+PROTOCOLS: Dict[str, MacFactory] = {}
+
+
+def register_protocol(name: str, factory: MacFactory) -> None:
+    """Register a MAC protocol for use in scenarios (plug-in point)."""
+    PROTOCOLS[name] = factory
+
+
+def _make_rmac(node_id: int, tb: MacTestbed, rng: random.Random, overrides: dict):
+    config = RmacConfig(phy=tb.phy, **overrides)
+    return RmacProtocol(node_id, tb.sim, tb.radios[node_id], rng, config, tracer=tb.tracer)
+
+
+def _make_bmmm(node_id: int, tb: MacTestbed, rng: random.Random, overrides: dict):
+    config = Dot11Config(phy=tb.phy, **overrides)
+    return BmmmProtocol(node_id, tb.sim, tb.radios[node_id], rng, config, tracer=tb.tracer)
+
+
+def _make_dot11(node_id: int, tb: MacTestbed, rng: random.Random, overrides: dict):
+    config = Dot11Config(phy=tb.phy, **overrides)
+    return Dot11Dcf(node_id, tb.sim, tb.radios[node_id], rng, config, tracer=tb.tracer)
+
+
+def _dot11_family(cls):
+    def factory(node_id: int, tb: MacTestbed, rng: random.Random, overrides: dict):
+        config = Dot11Config(phy=tb.phy, **overrides)
+        return cls(node_id, tb.sim, tb.radios[node_id], rng, config, tracer=tb.tracer)
+
+    return factory
+
+
+register_protocol("rmac", _make_rmac)
+register_protocol("bmmm", _make_bmmm)
+register_protocol("dot11", _make_dot11)
+
+# Extension protocols (see DESIGN.md): imported lazily to keep the core
+# import graph small is unnecessary here -- the modules are tiny.
+from repro.mac.bmw import BmwProtocol
+from repro.mac.lamm import LammProtocol
+from repro.mac.lbp import LbpProtocol
+from repro.mac.mx import MxProtocol
+
+register_protocol("bmw", _dot11_family(BmwProtocol))
+register_protocol("lamm", _dot11_family(LammProtocol))
+register_protocol("lbp", _dot11_family(LbpProtocol))
+register_protocol("mx", _dot11_family(MxProtocol))
+
+
+class Network:
+    """A fully wired simulated network, ready to run."""
+
+    def __init__(self, config: ScenarioConfig):
+        if config.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {config.protocol!r}; "
+                f"registered: {sorted(PROTOCOLS)}"
+            )
+        self.config = config
+        master = random.Random(derive_seed(config.seed, "placement"))
+        self.coords = random_placement(
+            config.n_nodes,
+            config.width,
+            config.height,
+            master,
+            radio_range=config.radio_range,
+            require_connected=config.require_connected,
+        )
+        if config.mobile:
+            models = []
+            for i, (x, y) in enumerate(self.coords):
+                leg_rng = random.Random(derive_seed(config.seed, "waypoint", i))
+                models.append(
+                    RandomWaypointModel(
+                        x,
+                        y,
+                        config.width,
+                        config.height,
+                        config.min_speed,
+                        config.max_speed,
+                        config.pause_s,
+                        leg_rng,
+                    )
+                )
+        else:
+            models = [StationaryModel(x, y) for x, y in self.coords]
+        provider = MobilityProvider(models)
+
+        from repro.phy.params import DEFAULT_PHY
+        from dataclasses import replace as dc_replace
+
+        phy = dc_replace(DEFAULT_PHY, radio_range=config.radio_range)
+        from repro.phy.error import NoErrors, UniformBitErrors
+
+        error_model = UniformBitErrors(config.ber) if config.ber else NoErrors()
+        self.testbed = MacTestbed(
+            provider=provider,
+            n_nodes=config.n_nodes,
+            phy=phy,
+            seed=config.seed,
+            trace=config.trace,
+            error_model=error_model,
+        )
+        tb = self.testbed
+        factory = PROTOCOLS[config.protocol]
+        self.macs: List[MacProtocol] = tb.build_macs(
+            lambda i, t: factory(i, t, t.node_rng(i), config.mac_overrides)
+        )
+        self.metrics = MetricsCollector()
+        bless_config = BlessConfig(
+            period=round(config.bless_period_s * SEC),
+            expiry=round(config.bless_expiry_s * SEC),
+        )
+        mc_config = MulticastConfig(
+            rate_pps=config.rate_pps,
+            n_packets=config.n_packets,
+            payload_bytes=config.payload_bytes,
+            start_time=round(config.warmup_s * SEC),
+        )
+        self.layers: List[NetworkLayer] = [
+            NetworkLayer(
+                i,
+                tb.sim,
+                self.macs[i],
+                bless_config,
+                mc_config,
+                tb.rngs.stream("net", i),
+                metrics=self.metrics,
+            )
+            for i in range(config.n_nodes)
+        ]
+        for layer in self.layers:
+            layer.start()
+        self._mc_config = mc_config
+
+    @property
+    def sim(self):
+        return self.testbed.sim
+
+    def run(self) -> RunSummary:
+        """Run warm-up + traffic + drain and summarize."""
+        end = self._mc_config.traffic_end + round(self.config.drain_s * SEC)
+        self.sim.run(until=end)
+        return self.summary()
+
+    def summary(self) -> RunSummary:
+        return summarize(
+            self.config.protocol,
+            self.metrics,
+            [mac.stats for mac in self.macs],
+        )
+
+
+def build_network(config: ScenarioConfig) -> Network:
+    """Convenience constructor (the public API entry point)."""
+    return Network(config)

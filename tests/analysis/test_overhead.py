@@ -1,0 +1,74 @@
+"""The paper's closed-form arithmetic, verified number by number."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    abt_detection_time,
+    bmmm_control_overhead,
+    bmw_transaction_time,
+    max_receivers_per_mrts,
+    mrts_bytes,
+    rmac_control_overhead,
+    rmac_min_exchange_time,
+)
+from repro.phy.params import DEFAULT_PHY, PhyParams
+from repro.sim.units import US
+
+
+def test_mrts_bytes_formula():
+    assert mrts_bytes(1) == 18
+    assert mrts_bytes(20) == 132
+    with pytest.raises(ValueError):
+        mrts_bytes(0)
+
+
+def test_bmmm_control_overhead_is_632n_us():
+    """Section 2: '2n pairs of control frames in BMMM ... totally cost
+    632n us'."""
+    for n in (1, 3, 10):
+        assert bmmm_control_overhead(n) == 632 * n * US
+
+
+def test_abt_window_is_17_us():
+    assert abt_detection_time() == 17 * US
+
+
+def test_min_exchange_is_352_us():
+    """Section 3.4: 'the transmission of the shortest MRTS and the
+    shortest data frame in RMAC altogether takes 352 us'."""
+    assert rmac_min_exchange_time() == 352 * US
+
+
+def test_receiver_limit_is_twenty():
+    """'the maximum number of receivers should be no more than
+    352/17 = 20'."""
+    assert max_receivers_per_mrts() == 20
+
+
+def test_rmac_cheaper_than_bmmm_for_all_group_sizes():
+    for n in range(1, 21):
+        assert rmac_control_overhead(n) < bmmm_control_overhead(n)
+
+
+def test_rmac_overhead_growth_is_sublinear_vs_bmmm():
+    # RMAC adds 6 bytes (24 us) + one 17 us window per receiver = 41 us;
+    # BMMM adds 632 us per receiver.
+    delta_rmac = rmac_control_overhead(5) - rmac_control_overhead(4)
+    delta_bmmm = bmmm_control_overhead(5) - bmmm_control_overhead(4)
+    assert delta_rmac == 41 * US
+    assert delta_bmmm == 632 * US
+
+
+def test_bmw_transaction_linear_in_receivers():
+    one = bmw_transaction_time(1, 500)
+    ten = bmw_transaction_time(10, 500)
+    assert ten == 10 * one
+    with pytest.raises(ValueError):
+        bmw_transaction_time(0, 500)
+
+
+def test_overheads_rescale_with_phy():
+    slow = PhyParams(bitrate=1_000_000)
+    assert bmmm_control_overhead(1, slow) > bmmm_control_overhead(1, DEFAULT_PHY)
+    # A faster PHY shrinks the exchange and thus the receiver cap.
+    assert max_receivers_per_mrts(slow) != 0

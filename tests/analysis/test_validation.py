@@ -1,0 +1,104 @@
+"""Paper-claim validation bands."""
+
+import pytest
+
+from repro.analysis.validation import CLAIMS, all_pass, validate
+from repro.experiments.runner import aggregate
+from repro.metrics.summary import RunSummary
+
+
+def _summary(protocol, **kw):
+    fields = dict(
+        protocol=protocol, n_nodes=40, n_generated=100, total_deliveries=3900,
+        delivery_ratio=0.99, avg_delay_s=0.05, max_delay_s=0.4,
+        avg_drop_ratio=0.001, avg_retx_ratio=0.3, avg_txoh_ratio=0.22,
+        mrts_len_avg=25.0, mrts_len_p99=57.0, mrts_len_max=60.0,
+        abort_avg=0.0002, abort_p99=0.001, abort_max=0.01,
+        n_forwarders=10, total_drops=0, total_retransmissions=30,
+    )
+    fields.update(kw)
+    return RunSummary(**fields)
+
+
+def good_sweep():
+    """A sweep matching every paper claim."""
+    results = []
+    for scenario in ("stationary", "speed1", "speed2"):
+        mobile = scenario != "stationary"
+        for rate in (10, 60):
+            rmac = _summary(
+                "rmac",
+                delivery_ratio=0.7 if mobile else 0.99,
+                avg_retx_ratio=1.0 if mobile else 0.3,
+                avg_txoh_ratio=0.6 if mobile else 0.22,
+                avg_delay_s=0.3,
+            )
+            bmmm = _summary(
+                "bmmm",
+                delivery_ratio=0.5 if mobile else 0.95,
+                avg_txoh_ratio=1.0,
+                avg_delay_s=0.8,
+                mrts_len_avg=None, mrts_len_p99=None, mrts_len_max=None,
+                abort_avg=None, abort_p99=None, abort_max=None,
+            )
+            results.append(aggregate("rmac", scenario, rate, [rmac]))
+            results.append(aggregate("bmmm", scenario, rate, [bmmm]))
+    return results
+
+
+def test_all_claims_pass_on_conforming_sweep():
+    rows = validate(good_sweep())
+    assert len(rows) == len(CLAIMS)
+    assert all(r["verdict"] == "PASS" for r in rows)
+    assert all_pass(rows)
+
+
+def test_static_delivery_regression_detected():
+    results = good_sweep()
+    # Break the stationary delivery claim.
+    broken = [
+        aggregate("rmac", r.scenario, r.rate_pps,
+                  [_summary("rmac", delivery_ratio=0.5)])
+        if r.protocol == "rmac" and r.scenario == "stationary" else r
+        for r in results
+    ]
+    rows = validate(broken)
+    verdicts = {r["claim"]: r["verdict"] for r in rows}
+    assert verdicts["deliv-static"] == "FAIL"
+    assert not all_pass(rows)
+
+
+def test_overhead_regression_detected():
+    results = good_sweep()
+    broken = [
+        aggregate("rmac", r.scenario, r.rate_pps,
+                  [_summary("rmac", avg_txoh_ratio=0.9)])
+        if r.protocol == "rmac" and r.scenario == "stationary" else r
+        for r in results
+    ]
+    verdicts = {r["claim"]: r["verdict"] for r in validate(broken)}
+    assert verdicts["txoh-static"] == "FAIL"
+
+
+def test_missing_points_yield_na():
+    rows = validate([])  # empty sweep: nothing to check
+    assert all(r["verdict"] == "n/a" for r in rows)
+    assert all_pass(rows)  # n/a is not failure
+
+
+def test_real_small_sweep_passes_claims():
+    """End to end: a real (tiny) sweep satisfies the claim bands."""
+    from repro.experiments.runner import run_sweep
+    from repro.experiments.scenarios import scaled_scenario
+
+    def make(protocol, scenario, rate, seed):
+        return scaled_scenario(protocol, scenario, rate, seed,
+                               n_packets=40, n_nodes=16)
+
+    results = run_sweep(["rmac", "bmmm"], ["stationary", "speed2"], [10],
+                        [1, 2], make)
+    rows = validate(results)
+    failing = [r for r in rows if r["verdict"] == "FAIL"]
+    # Tiny sweeps are noisy; the structural claims must still hold.
+    critical = {"deliv-static", "delay-ordering", "txoh-static", "mrts-short"}
+    assert not [r for r in failing if r["claim"] in critical], failing

@@ -1,0 +1,44 @@
+"""RMAC configuration and the Section 3.3.2 timer arithmetic."""
+
+import pytest
+
+from repro.core.config import RmacConfig
+from repro.sim.units import US
+
+
+def test_paper_timer_values():
+    cfg = RmacConfig()
+    assert cfg.tau == 1 * US
+    assert cfg.detect_time == 15 * US
+    assert cfg.l_abt == 17 * US           # 2 tau + lambda
+    assert cfg.twf_rbt == 17 * US
+    assert cfg.twf_abt == 17 * US
+    assert cfg.twf_rdata == 17 * US + cfg.rdata_guard
+
+
+def test_defaults_match_paper():
+    cfg = RmacConfig()
+    assert cfg.max_receivers == 20
+    assert cfg.retry_limit == 7
+    assert cfg.queue_capacity is None
+
+
+def test_custom_tau_scales_timers():
+    cfg = RmacConfig(tau=2 * US)
+    assert cfg.l_abt == 19 * US
+    assert cfg.twf_rbt == 19 * US
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RmacConfig(tau=0)
+    with pytest.raises(ValueError):
+        RmacConfig(detect_time=0)
+    with pytest.raises(ValueError):
+        RmacConfig(retry_limit=-1)
+    with pytest.raises(ValueError):
+        RmacConfig(max_receivers=0)
+    with pytest.raises(ValueError):
+        RmacConfig(max_receivers=256)
+    with pytest.raises(ValueError):
+        RmacConfig(rdata_guard=-1)

@@ -1,0 +1,41 @@
+"""MRTS construction and the Section 3.4 splitting refinement."""
+
+import pytest
+
+from repro.core.mrts import build_mrts, split_receivers
+
+
+def test_no_split_below_limit():
+    assert split_receivers(range(1, 21), 20) == [tuple(range(1, 21))]
+
+
+def test_split_preserves_order_and_covers_all():
+    chunks = split_receivers(range(1, 46), 20)
+    assert [len(c) for c in chunks] == [20, 20, 5]
+    flat = [r for chunk in chunks for r in chunk]
+    assert flat == list(range(1, 46))
+
+
+def test_exact_multiple():
+    chunks = split_receivers(range(40), 20)
+    assert [len(c) for c in chunks] == [20, 20]
+
+
+def test_single_receiver():
+    assert split_receivers([7], 20) == [(7,)]
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        split_receivers([], 20)
+    with pytest.raises(ValueError):
+        split_receivers([1], 0)
+
+
+def test_build_mrts_shrinks_on_retransmission():
+    first = build_mrts(0, [1, 2, 3])
+    retry = build_mrts(0, [3])
+    assert first.size_bytes == 12 + 18
+    assert retry.size_bytes == 12 + 6
+    assert retry.receivers == (3,)
+    assert retry.transmitter == 0

@@ -1,0 +1,67 @@
+"""The appendix state machine: Fig. 14 edges and Table 1 conditions."""
+
+import pytest
+
+from repro.core.states import RmacState, TRANSITIONS, by_condition, valid_transition
+
+
+def test_eight_states():
+    assert len(RmacState) == 8
+    assert {s.value for s in RmacState} == {
+        "IDLE", "BACKOFF", "WF_RBT", "WF_RDATA", "WF_ABT",
+        "TX_MRTS", "TX_RDATA", "TX_UNRDATA",
+    }
+
+
+def test_nineteen_conditions():
+    assert len(TRANSITIONS) == 19
+    assert {t.condition for t in TRANSITIONS} == {f"C{i}" for i in range(1, 20)}
+
+
+@pytest.mark.parametrize("t", TRANSITIONS, ids=lambda t: t.condition)
+def test_every_table1_edge_is_valid(t):
+    assert valid_transition(t.source, t.target)
+
+
+def test_table1_edges_match_figure14():
+    """Spot-check the figure's edges against Table 1 verbatim."""
+    assert by_condition("C1").source is RmacState.IDLE
+    assert by_condition("C1").target is RmacState.TX_UNRDATA
+    assert by_condition("C17") == by_condition("C17")
+    assert (by_condition("C17").source, by_condition("C17").target) == (
+        RmacState.TX_MRTS, RmacState.WF_RBT)
+    assert (by_condition("C18").source, by_condition("C18").target) == (
+        RmacState.WF_RBT, RmacState.TX_RDATA)
+    assert (by_condition("C19").source, by_condition("C19").target) == (
+        RmacState.TX_RDATA, RmacState.WF_ABT)
+    assert (by_condition("C3").source, by_condition("C3").target) == (
+        RmacState.IDLE, RmacState.WF_RDATA)
+
+
+def test_documented_implicit_edges():
+    assert valid_transition(RmacState.TX_MRTS, RmacState.BACKOFF)
+    assert valid_transition(RmacState.BACKOFF, RmacState.WF_RDATA)
+
+
+@pytest.mark.parametrize(
+    "source,target",
+    [
+        (RmacState.WF_RDATA, RmacState.TX_MRTS),   # a receiver cannot start sending
+        (RmacState.TX_RDATA, RmacState.IDLE),      # data tx always ends in WF_ABT
+        (RmacState.WF_ABT, RmacState.TX_RDATA),    # no data without a new MRTS
+        (RmacState.IDLE, RmacState.TX_RDATA),      # data only after WF_RBT
+        (RmacState.IDLE, RmacState.WF_ABT),
+        (RmacState.TX_UNRDATA, RmacState.WF_RBT),  # unreliable has no handshake
+    ],
+)
+def test_forbidden_edges(source, target):
+    assert not valid_transition(source, target)
+
+
+def test_conditions_have_descriptions():
+    assert all(t.description for t in TRANSITIONS)
+
+
+def test_by_condition_unknown_raises():
+    with pytest.raises(KeyError):
+        by_condition("C99")

@@ -1,0 +1,86 @@
+"""Resumable experiment campaigns."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.scenarios import scaled_scenario
+
+
+def tiny_config(protocol, scenario, rate, seed):
+    return scaled_scenario(protocol, scenario, rate, seed,
+                           n_packets=4, n_nodes=10)
+
+
+def test_campaign_runs_and_persists(tmp_path):
+    path = tmp_path / "campaign.json"
+    campaign = Campaign(str(path))
+    results = campaign.run(["rmac"], ["stationary"], [10], [1, 2], tiny_config)
+    assert len(results) == 1
+    assert results[0].n_seeds == 2
+    assert path.exists()
+    stored = json.loads(path.read_text())
+    assert len(stored) == 2
+
+
+def test_campaign_resume_skips_completed(tmp_path):
+    path = tmp_path / "campaign.json"
+    calls = []
+
+    def counting_config(protocol, scenario, rate, seed):
+        calls.append(seed)
+        return tiny_config(protocol, scenario, rate, seed)
+
+    Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1], counting_config)
+    first_calls = len(calls)
+
+    # Resume with one more seed: only the new point actually simulates.
+    import repro.experiments.campaign as campaign_module
+
+    executed = []
+    original = campaign_module.run_point
+
+    def spying_run_point(config):
+        executed.append(config.seed)
+        return original(config)
+
+    campaign_module.run_point = spying_run_point
+    try:
+        Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1, 2],
+                                counting_config)
+    finally:
+        campaign_module.run_point = original
+    assert executed == [2]
+
+
+def test_campaign_invalidates_on_config_change(tmp_path):
+    path = tmp_path / "campaign.json"
+    Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1], tiny_config)
+
+    def changed_config(protocol, scenario, rate, seed):
+        return tiny_config(protocol, scenario, rate, seed).variant(n_packets=6)
+
+    results = Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1],
+                                      changed_config)
+    assert results[0].per_seed[0].n_generated == 6
+
+
+def test_campaign_progress_callback(tmp_path):
+    seen = []
+    Campaign(str(tmp_path / "c.json")).run(
+        ["rmac"], ["stationary"], [10], [1], tiny_config,
+        progress=lambda key, done, total: seen.append((done, total)),
+    )
+    assert seen == [(1, 1)]
+
+
+def test_aggregate_partial_store(tmp_path):
+    path = tmp_path / "campaign.json"
+    campaign = Campaign(str(path))
+    campaign.run(["rmac"], ["stationary"], [10], [1], tiny_config)
+    # Ask for more seeds than stored: aggregates what exists.
+    results = campaign.aggregate(["rmac"], ["stationary"], [10], [1, 2, 3])
+    assert results[0].n_seeds == 1
+    # Nothing stored for another protocol.
+    assert campaign.aggregate(["bmmm"], ["stationary"], [10], [1]) == []

@@ -1,0 +1,128 @@
+"""Scenario presets, the sweep runner, figure specs and reporting."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, figure_rows
+from repro.experiments.report import format_table, rows_to_csv
+from repro.experiments.runner import aggregate, run_point, run_sweep
+from repro.experiments.scenarios import PAPER_RATES, SCENARIOS, paper_scenario, scaled_scenario
+from repro.metrics.summary import RunSummary
+
+
+def _summary(protocol="rmac", deliv=0.9, **kw):
+    fields = dict(
+        protocol=protocol, n_nodes=10, n_generated=10, total_deliveries=81,
+        delivery_ratio=deliv, avg_delay_s=0.01, max_delay_s=0.1,
+        avg_drop_ratio=0.0, avg_retx_ratio=0.2, avg_txoh_ratio=0.3,
+        mrts_len_avg=24.0, mrts_len_p99=40.0, mrts_len_max=48.0,
+        abort_avg=0.001, abort_p99=0.01, abort_max=0.02,
+        n_forwarders=4, total_drops=0, total_retransmissions=5,
+    )
+    fields.update(kw)
+    return RunSummary(**fields)
+
+
+class TestScenarios:
+    def test_paper_matrix_constants(self):
+        assert PAPER_RATES == (5, 10, 20, 40, 60, 80, 100, 120)
+        assert set(SCENARIOS) == {"stationary", "speed1", "speed2"}
+
+    def test_paper_scenario_parameters(self):
+        config = paper_scenario("rmac", "speed2", 40, seed=3)
+        assert config.n_nodes == 75
+        assert (config.width, config.height) == (500.0, 300.0)
+        assert config.mobile and config.max_speed == 8.0 and config.pause_s == 5.0
+        assert config.n_packets == 10_000
+        assert config.payload_bytes == 500
+
+    def test_stationary_scenario(self):
+        config = paper_scenario("bmmm", "stationary", 5, seed=1)
+        assert not config.mobile
+
+    def test_scaled_scenario_shrinks_packets(self):
+        config = scaled_scenario("rmac", "stationary", 10, seed=1,
+                                 n_packets=50, n_nodes=30)
+        assert config.n_packets == 50 and config.n_nodes == 30
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            paper_scenario("rmac", "warp", 5, seed=1)
+
+
+class TestRunner:
+    def test_run_point_executes(self):
+        config = scaled_scenario("rmac", "stationary", 5, seed=2,
+                                 n_packets=5, n_nodes=10)
+        summary = run_point(config)
+        assert summary.n_generated == 5
+
+    def test_aggregate_averages_and_maxes(self):
+        result = aggregate("rmac", "stationary", 10,
+                           [_summary(deliv=0.8, mrts_len_max=40.0),
+                            _summary(deliv=1.0, mrts_len_max=60.0)])
+        assert result["delivery_ratio"] == pytest.approx(0.9)
+        assert result["mrts_len_max"] == 60.0
+        assert result.n_seeds == 2
+
+    def test_aggregate_skips_missing_values(self):
+        result = aggregate("rmac", "stationary", 10,
+                           [_summary(abort_avg=None), _summary(abort_avg=0.5)])
+        assert result["abort_avg"] == pytest.approx(0.5)
+
+    def test_run_sweep_matrix_shape(self):
+        def make(protocol, scenario, rate, seed):
+            return scaled_scenario(protocol, scenario, rate, seed,
+                                   n_packets=3, n_nodes=8)
+
+        results = run_sweep(["rmac"], ["stationary"], [5, 10], [1, 2], make)
+        assert len(results) == 2
+        assert all(r.n_seeds == 2 for r in results)
+        assert {r.rate_pps for r in results} == {5, 10}
+
+
+class TestFigures:
+    def test_all_paper_figures_present(self):
+        assert set(FIGURES) == {f"fig{i}" for i in range(7, 14)}
+
+    def test_rmac_only_figures(self):
+        assert FIGURES["fig12"].protocols == ("rmac",)
+        assert FIGURES["fig13"].protocols == ("rmac",)
+        assert FIGURES["fig7"].protocols == ("rmac", "bmmm")
+
+    def test_figure_rows_pivot(self):
+        results = [
+            aggregate("rmac", "stationary", 5, [_summary("rmac", 1.0)]),
+            aggregate("bmmm", "stationary", 5, [_summary("bmmm", 0.8)]),
+        ]
+        rows = figure_rows(FIGURES["fig7"], results)
+        assert rows == [{
+            "scenario": "stationary", "rate_pps": 5,
+            "rmac:R_deliv": 1.0, "bmmm:R_deliv": 0.8,
+        }]
+
+    def test_single_protocol_rows_unprefixed(self):
+        results = [aggregate("rmac", "speed1", 10, [_summary("rmac")])]
+        rows = figure_rows(FIGURES["fig12"], results)
+        assert set(rows[0]) == {"scenario", "rate_pps", "Average",
+                                "Maximum", "99 Percentile"}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": None}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "0.1235" in text and "-" in lines[-1]
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_csv_output(self):
+        rows = [{"x": 1, "y": 2.5}, {"x": 3, "y": None}]
+        csv = rows_to_csv(rows)
+        assert csv.splitlines() == ["x,y", "1,2.5", "3,-"]
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""

@@ -1,0 +1,27 @@
+"""The multiprocessing sweep path (workers > 1)."""
+
+import pytest
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import scaled_scenario
+
+
+def tiny_config(protocol, scenario, rate, seed):
+    return scaled_scenario(protocol, scenario, rate, seed,
+                           n_packets=4, n_nodes=10)
+
+
+def test_parallel_matches_serial():
+    args = (["rmac"], ["stationary"], [10], [1, 2], tiny_config)
+    serial = run_sweep(*args, workers=0)
+    parallel = run_sweep(*args, workers=2)
+    assert len(serial) == len(parallel) == 1
+    assert serial[0].values == parallel[0].values
+
+
+def test_parallel_full_matrix_shape():
+    results = run_sweep(["rmac", "bmmm"], ["stationary"], [10, 20], [1],
+                        tiny_config, workers=2)
+    assert len(results) == 4
+    assert {(r.protocol, r.rate_pps) for r in results} == {
+        ("rmac", 10), ("rmac", 20), ("bmmm", 10), ("bmmm", 20)}

@@ -1,0 +1,84 @@
+"""Full-stack integration: tree multicast over every protocol."""
+
+import pytest
+
+from repro.world.network import ScenarioConfig, build_network
+
+SMALL = dict(n_nodes=16, width=220, height=160, rate_pps=8, n_packets=25,
+             warmup_s=4.0, drain_s=3.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def rmac_run():
+    net = build_network(ScenarioConfig(protocol="rmac", **SMALL))
+    summary = net.run()
+    return net, summary
+
+
+def test_rmac_static_delivery_near_one(rmac_run):
+    _, summary = rmac_run
+    assert summary.delivery_ratio > 0.97
+
+
+def test_tree_formed_every_node_joined(rmac_run):
+    net, _ = rmac_run
+    assert all(layer.bless.joined for layer in net.layers)
+    parents = [layer.bless.parent for layer in net.layers]
+    assert parents[0] == -1
+    assert all(p >= 0 for p in parents[1:])
+
+
+def test_delivery_accounting_conserved(rmac_run):
+    """Deliveries can never exceed packets x receivers, and per-node
+    counts never exceed the generated count."""
+    net, summary = rmac_run
+    n = net.config.n_nodes
+    assert summary.total_deliveries <= summary.n_generated * (n - 1)
+    for node, count in net.metrics.deliveries_per_node.items():
+        assert count <= summary.n_generated
+        assert node != 0  # the source never records a delivery
+
+
+def test_mac_counters_consistent(rmac_run):
+    net, _ = rmac_run
+    for mac in net.macs:
+        stats = mac.stats
+        assert stats.packets_delivered + stats.packets_dropped <= stats.packets_offered
+        assert stats.mrts_aborted <= stats.mrts_transmissions
+        assert sum(stats.mrts_lengths.values()) == stats.mrts_transmissions
+        assert stats.control_tx_time >= 0 and stats.data_tx_time >= 0
+
+
+def test_queues_drain_after_traffic(rmac_run):
+    net, _ = rmac_run
+    assert all(len(mac.queue) == 0 for mac in net.macs)
+
+
+def test_all_tones_released(rmac_run):
+    net, _ = rmac_run
+    from repro.phy.busytone import ToneType
+    for radio in net.testbed.radios:
+        assert not radio.tone_emitting(ToneType.RBT)
+        assert not radio.tone_emitting(ToneType.ABT)
+
+
+@pytest.mark.parametrize("protocol", ["bmmm", "bmw", "lbp"])
+def test_baselines_reach_high_static_delivery(protocol):
+    summary = build_network(ScenarioConfig(protocol=protocol, **SMALL)).run()
+    assert summary.delivery_ratio > 0.9, protocol
+
+
+def test_mx_shows_reliability_gap():
+    """The receiver-initiated extension loses packets silently (Sec. 2)."""
+    summary = build_network(ScenarioConfig(protocol="mx", **SMALL)).run()
+    assert summary.delivery_ratio is not None
+    # It still delivers most packets but cannot certify them.
+    assert 0.3 < summary.delivery_ratio <= 1.0
+
+
+def test_mobility_reduces_delivery():
+    static = build_network(ScenarioConfig(protocol="rmac", **SMALL)).run()
+    mobile_cfg = ScenarioConfig(protocol="rmac", mobile=True, max_speed=20.0,
+                                pause_s=0.5, **SMALL)
+    mobile = build_network(mobile_cfg).run()
+    assert mobile.delivery_ratio < static.delivery_ratio

@@ -1,0 +1,32 @@
+"""Behaviour on lossy channels (bit errors), per Section 3.4's remark."""
+
+import pytest
+
+from repro.world.network import ScenarioConfig, build_network
+
+BASE = dict(protocol="rmac", n_nodes=14, width=210, height=150,
+            rate_pps=8, n_packets=20, warmup_s=4.0, drain_s=3.0, seed=6)
+
+
+def test_moderate_ber_recovered_by_retransmission():
+    clean = build_network(ScenarioConfig(**BASE)).run()
+    lossy = build_network(ScenarioConfig(ber=2e-5, **BASE)).run()
+    # ARQ recovers: delivery stays high, at the cost of retransmissions.
+    assert lossy.delivery_ratio > 0.9
+    assert lossy.avg_retx_ratio > clean.avg_retx_ratio
+
+
+def test_high_ber_causes_drops():
+    lossy = build_network(ScenarioConfig(ber=4e-4, **BASE)).run()
+    assert lossy.avg_retx_ratio > 0.5
+    assert lossy.delivery_ratio < 1.0
+
+
+def test_ber_shifts_mrts_survival():
+    """Longer MRTSs die more often on a lossy channel: the mean observed
+    MRTS length under BER stays within the cap and the retry machinery
+    keeps shrinking frames (paper: the 20-receiver cap 'can be further
+    reduced in case of high error bit rate')."""
+    lossy = build_network(ScenarioConfig(ber=2e-4, **BASE)).run()
+    assert lossy.mrts_len_avg is not None
+    assert lossy.mrts_len_avg <= 132

@@ -1,0 +1,46 @@
+"""Queueing behaviour at and beyond saturation."""
+
+import pytest
+
+from repro.world.network import ScenarioConfig, build_network
+
+BASE = dict(protocol="rmac", n_nodes=12, width=190, height=140,
+            rate_pps=300, n_packets=400, warmup_s=4.0, drain_s=0.5, seed=8)
+
+
+def test_overload_grows_delay_not_loss_with_unbounded_queues():
+    """The paper's loss model: queues are unbounded, so overload shows up
+    as delay, not drops (beyond retry exhaustion)."""
+    net = build_network(ScenarioConfig(**BASE))
+    summary = net.run()
+    # The drain is deliberately short: the backlog is still visible.
+    queued = sum(len(mac.queue) for mac in net.macs)
+    assert queued > 0
+    assert all(mac.stats.queue_drops == 0 for mac in net.macs)
+    # Delay at overload dwarfs the light-load delay.
+    light = build_network(ScenarioConfig(**{**BASE, "rate_pps": 5,
+                                            "n_packets": 20,
+                                            "drain_s": 5.0})).run()
+    assert summary.avg_delay_s > 5 * light.avg_delay_s
+
+
+def test_capped_queues_shed_load_instead():
+    config = ScenarioConfig(**{**BASE, "mac_overrides": {"queue_capacity": 3}})
+    net = build_network(config)
+    net.run()
+    total_overflow = sum(mac.stats.queue_drops for mac in net.macs)
+    assert total_overflow > 0
+    # The queues themselves never exceed the cap.
+    assert all(len(mac.queue) <= 3 for mac in net.macs)
+
+
+def test_saturation_point_respects_capacity_model():
+    """Below the analytic per-neighborhood floor rate, delay stays small."""
+    from repro.analysis.capacity import saturation_rate
+
+    safe_rate = 0.25 * saturation_rate(3, 500, forwarders_sharing_channel=4)
+    config = ScenarioConfig(**{**BASE, "rate_pps": safe_rate, "n_packets": 60,
+                               "drain_s": 5.0})
+    summary = build_network(config).run()
+    assert summary.avg_delay_s < 0.5
+    assert summary.delivery_ratio > 0.95

@@ -1,0 +1,75 @@
+"""The MAC service interface: requests, queueing, completion."""
+
+import pytest
+
+from repro.mac.addresses import BROADCAST
+from repro.mac.base import SendRequest, TransmitQueue
+from repro.world.testbed import MacTestbed
+from repro.core import RmacProtocol, RmacConfig
+
+
+class TestSendRequest:
+    def test_reliable_validation(self):
+        with pytest.raises(ValueError):
+            SendRequest("p", 10, reliable=True, receivers=())
+        with pytest.raises(ValueError):
+            SendRequest("p", 10, reliable=True, receivers=(1, 1))
+        with pytest.raises(ValueError):
+            SendRequest("p", 10, reliable=True, receivers=(1, BROADCAST))
+        with pytest.raises(ValueError):
+            SendRequest("p", -1, reliable=True, receivers=(1,))
+
+    def test_unreliable_takes_single_dst(self):
+        request = SendRequest("p", 10, reliable=False, receivers=(BROADCAST,))
+        assert request.receivers == (BROADCAST,)
+        with pytest.raises(ValueError):
+            SendRequest("p", 10, reliable=False, receivers=(1, 2))
+
+
+class TestTransmitQueue:
+    def test_fifo_order(self):
+        queue = TransmitQueue()
+        reqs = [SendRequest(i, 1, reliable=False, receivers=(1,)) for i in range(3)]
+        for request in reqs:
+            assert queue.push(request)
+        assert queue.pop() is reqs[0]
+        assert queue.peek() is reqs[1]
+        assert len(queue) == 2
+
+    def test_capacity_overflow(self):
+        queue = TransmitQueue(capacity=2)
+        reqs = [SendRequest(i, 1, reliable=False, receivers=(1,)) for i in range(3)]
+        assert queue.push(reqs[0]) and queue.push(reqs[1])
+        assert not queue.push(reqs[2])
+        assert queue.overflowed == 1 and queue.enqueued == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TransmitQueue(capacity=0)
+
+
+class TestServiceEntryPoints:
+    def _mac(self, capacity=None):
+        tb = MacTestbed(coords=[(0, 0), (50, 0)])
+        cfg = RmacConfig(queue_capacity=capacity)
+        tb.build_macs(lambda i, t: RmacProtocol(i, t.sim, t.radios[i], t.node_rng(i), cfg))
+        return tb, tb.macs[0]
+
+    def test_send_reliable_counts_offered(self):
+        tb, mac = self._mac()
+        mac.send_reliable((1,), "payload", 100)
+        assert mac.stats.packets_offered == 1
+
+    def test_queue_overflow_reports_dropped_outcome(self):
+        tb, mac = self._mac(capacity=2)
+        outcomes = []
+        mac.send_reliable((1,), "a", 2200)
+        mac.send_reliable((1,), "b", 2200)
+        ok = mac.send_reliable((1,), "c", 2200, on_complete=outcomes.append)
+        assert not ok
+        assert mac.stats.queue_drops == 1
+        assert outcomes and outcomes[0].dropped and outcomes[0].failed == (1,)
+
+    def test_deliver_up_without_listener_is_safe(self):
+        tb, mac = self._mac()
+        mac.deliver_up("payload", 1)  # no upper_rx attached: no raise

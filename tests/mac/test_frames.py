@@ -1,0 +1,124 @@
+"""Frame formats: sizes from the paper, wire round-trips."""
+
+import pytest
+
+from repro.mac.addresses import BROADCAST, MULTICAST_FLAG
+from repro.mac.frames import (
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    FrameDecodeError,
+    MrtsFrame,
+    NakFrame,
+    NctsFrame,
+    RakFrame,
+    RtsFrame,
+    DOT11_DATA_OVERHEAD,
+    RMAC_DATA_OVERHEAD,
+)
+
+
+class TestMrts:
+    def test_size_formula(self):
+        # Fig. 3: 1 + 6 + 1 + 6n + 4 = 12 + 6n bytes.
+        for n in (1, 2, 5, 20):
+            frame = MrtsFrame(0, tuple(range(1, n + 1)))
+            assert frame.size_bytes == 12 + 6 * n
+
+    def test_index_of_preserves_order(self):
+        frame = MrtsFrame(9, (4, 2, 7))
+        assert frame.index_of(4) == 0
+        assert frame.index_of(2) == 1
+        assert frame.index_of(7) == 2
+        with pytest.raises(ValueError):
+            frame.index_of(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MrtsFrame(0, ())
+        with pytest.raises(ValueError):
+            MrtsFrame(0, (1, 1))
+        with pytest.raises(ValueError):
+            MrtsFrame(0, tuple(range(1, 257)))
+
+    def test_wire_roundtrip(self):
+        frame = MrtsFrame(12345, (1, 99, 2**40))
+        data = frame.to_bytes()
+        assert len(data) == frame.size_bytes
+        assert MrtsFrame.from_bytes(data) == frame
+
+    def test_corrupted_fcs_rejected(self):
+        data = bytearray(MrtsFrame(1, (2,)).to_bytes())
+        data[3] ^= 0xFF
+        with pytest.raises(FrameDecodeError):
+            MrtsFrame.from_bytes(bytes(data))
+
+    def test_wrong_type_rejected(self):
+        data = RtsFrame(1, 2).to_bytes()
+        with pytest.raises(FrameDecodeError):
+            MrtsFrame.from_bytes(data)
+
+
+class TestControlFrames:
+    @pytest.mark.parametrize(
+        "cls,size",
+        [(RtsFrame, 20), (CtsFrame, 14), (AckFrame, 14), (RakFrame, 14),
+         (NctsFrame, 14), (NakFrame, 14)],
+    )
+    def test_sizes_match_paper(self, cls, size):
+        assert cls(0, 1).size_bytes == size
+
+    def test_rts_wire_roundtrip_keeps_both_addresses(self):
+        frame = RtsFrame(3, 7, aux=1234)
+        assert RtsFrame.from_bytes(frame.to_bytes()) == frame
+        assert len(frame.to_bytes()) == frame.size_bytes
+
+    @pytest.mark.parametrize("cls", [CtsFrame, AckFrame, RakFrame, NctsFrame, NakFrame])
+    def test_response_wire_roundtrip_drops_transmitter(self, cls):
+        # 14-byte responses carry only the receiver on the wire, as in
+        # IEEE 802.11 (the transmitter is implied by timing).
+        frame = cls(3, 7, aux=1234)
+        decoded = cls.from_bytes(frame.to_bytes())
+        assert (decoded.receiver, decoded.aux) == (7, 1234)
+        assert decoded.transmitter == -1
+        assert len(frame.to_bytes()) == frame.size_bytes
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            CtsFrame.from_bytes(RtsFrame(0, 1).to_bytes())
+
+    def test_str_rendering(self):
+        assert "RTS" in str(RtsFrame(0, 1))
+        assert "RAK" in str(RakFrame(0, 1))
+
+
+class TestDataFrame:
+    def test_rmac_size(self):
+        frame = DataFrame(src=0, dst=1, seq=1, payload_bytes=500, reliable=True)
+        assert frame.overhead == RMAC_DATA_OVERHEAD
+        assert frame.size_bytes == 522
+
+    def test_dot11_size(self):
+        frame = DataFrame(src=0, dst=1, seq=1, payload_bytes=500, reliable=True,
+                          overhead=DOT11_DATA_OVERHEAD)
+        assert frame.size_bytes == 528
+
+    def test_wire_roundtrip_including_sentinels(self):
+        for dst in (5, BROADCAST, MULTICAST_FLAG):
+            frame = DataFrame(src=2, dst=dst, seq=77, payload_bytes=64, reliable=False)
+            decoded = DataFrame.from_bytes(frame.to_bytes())
+            assert (decoded.src, decoded.dst, decoded.seq, decoded.reliable) == (
+                2, dst, 77, False)
+            assert decoded.payload_bytes == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataFrame(src=0, dst=1, seq=0, payload_bytes=-1, reliable=True)
+        with pytest.raises(ValueError):
+            DataFrame(src=0, dst=1, seq=0, payload_bytes=0, reliable=True, overhead=-2)
+
+    def test_str_shows_kind(self):
+        reliable = DataFrame(src=0, dst=BROADCAST, seq=1, payload_bytes=10, reliable=True)
+        unreliable = DataFrame(src=0, dst=3, seq=1, payload_bytes=10, reliable=False)
+        assert "RDATA" in str(reliable) and "BCAST" in str(reliable)
+        assert "UDATA" in str(unreliable)

@@ -1,0 +1,112 @@
+"""LAMM: BMMM with a location-covered RTS/CTS phase."""
+
+import pytest
+
+from repro.mac.lamm import LammProtocol, covering_subset
+from repro.sim.units import MS
+
+from tests.conftest import collect_upper, make_dot11_testbed
+
+
+class TestCoveringSubset:
+    def test_empty(self):
+        assert covering_subset([], 10) == []
+
+    def test_single(self):
+        assert covering_subset([(0, 0)], 10) == [0]
+
+    def test_cluster_covered_by_one(self):
+        positions = [(0, 0), (3, 0), (0, 4), (2, 2)]
+        chosen = covering_subset(positions, cover_radius=10)
+        assert len(chosen) == 1
+
+    def test_spread_needs_everyone(self):
+        positions = [(0, 0), (100, 0), (0, 100)]
+        chosen = covering_subset(positions, cover_radius=10)
+        assert chosen == [0, 1, 2]
+
+    def test_cover_property_holds(self):
+        import math
+        import random
+
+        rng = random.Random(4)
+        positions = [(rng.uniform(0, 80), rng.uniform(0, 80)) for _ in range(12)]
+        radius = 25.0
+        chosen = covering_subset(positions, radius)
+        for i, p in enumerate(positions):
+            assert any(math.dist(p, positions[j]) <= radius for j in chosen)
+
+    def test_zero_radius_degenerates_to_all(self):
+        positions = [(0, 0), (1, 1)]
+        assert covering_subset(positions, 0) == [0, 1]
+
+    def test_deterministic(self):
+        positions = [(0, 0), (30, 0), (60, 0), (90, 0)]
+        assert covering_subset(positions, 20) == covering_subset(positions, 20)
+
+
+class TestLammProtocol:
+    def test_clustered_receivers_need_one_rts(self):
+        # Three receivers within a few meters of each other: one CTS
+        # protects them all; the RAK phase still polls everyone.
+        coords = [(0.0, 0.0), (50.0, 0.0), (52.0, 0.0), (50.0, 2.0)]
+        tb = make_dot11_testbed(coords, protocol="lamm", seed=1)
+        rxs = [collect_upper(tb.macs[i]) for i in (1, 2, 3)]
+        outcomes = []
+        tb.macs[0].send_reliable((1, 2, 3), "pkt", 500, on_complete=outcomes.append)
+        tb.run(100 * MS)
+        assert outcomes[0].acked == (1, 2, 3)
+        assert all(rx == [("pkt", 0)] for rx in rxs)
+        stats = tb.macs[0].stats
+        assert stats.frames_tx.get("RtsFrame") == 1   # covered phase
+        assert stats.frames_tx.get("RakFrame") == 3   # full reliability
+
+    def test_spread_receivers_degrade_to_bmmm(self):
+        coords = [(0.0, 0.0), (70.0, 0.0), (0.0, 70.0), (-70.0, 0.0)]
+        tb = make_dot11_testbed(coords, protocol="lamm", seed=1)
+        outcomes = []
+        tb.macs[0].send_reliable((1, 2, 3), "pkt", 500, on_complete=outcomes.append)
+        tb.run(200 * MS)
+        assert outcomes[0].acked == (1, 2, 3)
+        assert tb.macs[0].stats.frames_tx.get("RtsFrame") == 3
+
+    def test_lower_overhead_than_bmmm_when_clustered(self):
+        coords = [(0.0, 0.0), (50.0, 0.0), (52.0, 0.0), (50.0, 2.0)]
+        results = {}
+        for protocol in ("lamm", "bmmm"):
+            tb = make_dot11_testbed(coords, protocol=protocol, seed=1)
+            tb.macs[0].send_reliable((1, 2, 3), "pkt", 500)
+            tb.run(100 * MS)
+            results[protocol] = tb.macs[0].stats.overhead_ratio()
+        assert results["lamm"] < results["bmmm"]
+
+    def test_retry_round_recomputes_cover(self, monkeypatch):
+        """A retransmission round covers only the still-pending set."""
+        from repro.mac.bmmm import BmmmProtocol
+
+        coords = [(0.0, 0.0), (50.0, 0.0), (52.0, 0.0)]
+        tb = make_dot11_testbed(coords, protocol="lamm", seed=1)
+        dropped = []
+        original = LammProtocol._handle_rak
+
+        def deaf_once(self, frame):
+            if self.node_id == 2 and frame.receiver == 2 and not dropped:
+                dropped.append(1)
+                return
+            original(self, frame)
+
+        monkeypatch.setattr(LammProtocol, "_handle_rak", deaf_once)
+        outcomes = []
+        tb.macs[0].send_reliable((1, 2), "pkt", 500, on_complete=outcomes.append)
+        tb.run(300 * MS)
+        assert set(outcomes[0].acked) == {1, 2}
+        assert tb.macs[0].stats.retransmissions == 1
+
+
+def test_lamm_runs_full_workload():
+    from repro.world.network import ScenarioConfig, build_network
+
+    config = ScenarioConfig(protocol="lamm", n_nodes=14, width=210, height=150,
+                            rate_pps=8, n_packets=15, seed=5)
+    summary = build_network(config).run()
+    assert summary.delivery_ratio > 0.9

@@ -1,0 +1,91 @@
+"""LBP: leader-based feedback with NCTS/NAK negative signalling."""
+
+import pytest
+
+from repro.mac.dot11 import Dot11Config
+from repro.mac.lbp import LbpProtocol
+from repro.sim.units import MS, US
+
+from tests.conftest import TRIANGLE, collect_upper, make_dot11_testbed
+
+
+def test_leader_answers_for_the_group():
+    tb = make_dot11_testbed(TRIANGLE, protocol="lbp", seed=1)
+    rx1 = collect_upper(tb.macs[1])
+    rx2 = collect_upper(tb.macs[2])
+    outcomes = []
+    tb.macs[0].send_reliable((1, 2), "pkt", 500, on_complete=outcomes.append)
+    tb.run(100 * MS)
+    assert rx1 == [("pkt", 0)] and rx2 == [("pkt", 0)]
+    assert outcomes[0].acked == (1, 2)
+    # Only the leader (node 1) produced CTS and ACK.
+    assert tb.macs[1].stats.frames_tx.get("CtsFrame") == 1
+    assert tb.macs[1].stats.frames_tx.get("AckFrame") == 1
+    assert tb.macs[2].stats.frames_tx.get("CtsFrame") is None
+    assert tb.macs[2].stats.frames_tx.get("AckFrame") is None
+
+
+def test_leader_nav_busy_replies_ncts():
+    tb = make_dot11_testbed(TRIANGLE, protocol="lbp", seed=1)
+    # Force the leader's NAV to be set when the RTS arrives.
+    tb.sim.at(1 * MS, lambda: setattr(tb.macs[1], "nav_until", tb.sim.now + 5_000_000))
+    tb.sim.at(1 * MS + 10 * US, lambda: tb.macs[0].send_reliable((1, 2), "pkt", 200))
+    tb.run(300 * MS)
+    # At least one NCTS was produced before the exchange finally succeeded.
+    assert tb.macs[1].stats.frames_tx.get("NctsFrame", 0) >= 1
+    assert tb.macs[0].stats.packets_delivered == 1
+
+
+def test_non_leader_corruption_draws_nak(monkeypatch):
+    """A non-leader that detects a corrupted copy NAKs, forcing a
+    retransmission even though the leader was satisfied."""
+    tb = make_dot11_testbed(TRIANGLE, protocol="lbp", seed=1)
+    # Corrupt node 2's copy of the first reliable data frame by injecting
+    # a frame error instead of the reception.
+    original = LbpProtocol._handle_reliable_data
+    state = {"corrupted": False}
+
+    def corrupt_once(self, frame):
+        if self.node_id == 2 and not state["corrupted"]:
+            state["corrupted"] = True
+            self.on_frame_error(frame.src)
+            return
+        original(self, frame)
+
+    monkeypatch.setattr(LbpProtocol, "_handle_reliable_data", corrupt_once)
+    rx2 = collect_upper(tb.macs[2])
+    tb.macs[0].send_reliable((1, 2), "pkt", 500)
+    tb.run(300 * MS)
+    assert tb.macs[2].stats.frames_tx.get("NakFrame", 0) >= 1
+    assert tb.macs[0].stats.retransmissions >= 1
+    assert rx2 == [("pkt", 0)]  # the retry delivered it
+
+
+def test_silent_member_loss_invisible_to_sender(monkeypatch):
+    """LBP's structural gap: a non-leader that misses everything stays
+    silent and the sender still reports success."""
+    original = LbpProtocol._handle_reliable_data
+
+    def deaf(self, frame):
+        if self.node_id == 2:
+            return  # missed entirely: no reception, no NAK state
+        original(self, frame)
+
+    monkeypatch.setattr(LbpProtocol, "_handle_reliable_data", deaf)
+    tb = make_dot11_testbed(TRIANGLE, protocol="lbp", seed=1)
+    rx2 = collect_upper(tb.macs[2])
+    outcomes = []
+    tb.macs[0].send_reliable((1, 2), "pkt", 500, on_complete=outcomes.append)
+    tb.run(100 * MS)
+    assert outcomes[0].acked == (1, 2)  # sender believes success...
+    assert rx2 == []                    # ...but node 2 never got it
+
+
+def test_unreachable_leader_drops():
+    tb = make_dot11_testbed([(0, 0), (500, 0), (0, 50)], protocol="lbp",
+                            seed=1, config=Dot11Config(retry_limit=1))
+    outcomes = []
+    tb.macs[0].send_reliable((1, 2), "pkt", 300, on_complete=outcomes.append)
+    tb.run(300 * MS)
+    assert outcomes[0].dropped
+    assert tb.macs[0].stats.packets_dropped == 1

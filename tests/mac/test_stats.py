@@ -1,0 +1,57 @@
+"""Per-node MAC counters and ratio definitions."""
+
+import pytest
+
+from repro.mac.stats import MacStats
+
+
+def test_ratios_undefined_without_traffic():
+    stats = MacStats(node_id=1)
+    assert stats.drop_ratio() is None
+    assert stats.retransmission_ratio() is None
+    assert stats.overhead_ratio() is None
+    assert stats.abort_ratio() is None
+
+
+def test_drop_and_retx_ratios():
+    stats = MacStats(node_id=1)
+    stats.packets_offered = 20
+    stats.packets_dropped = 1
+    stats.retransmissions = 5
+    assert stats.drop_ratio() == pytest.approx(0.05)
+    assert stats.retransmission_ratio() == pytest.approx(0.25)
+
+
+def test_overhead_ratio_definition():
+    """R_txoh = (control tx + control rx + ABT checking) / data tx time."""
+    stats = MacStats(node_id=1)
+    stats.control_tx_time = 300
+    stats.control_rx_time = 100
+    stats.abt_check_time = 100
+    stats.data_tx_time = 2000
+    assert stats.overhead_ratio() == pytest.approx(0.25)
+
+
+def test_abort_ratio_definition():
+    stats = MacStats(node_id=1)
+    stats.mrts_transmissions = 200
+    stats.mrts_aborted = 3
+    assert stats.abort_ratio() == pytest.approx(0.015)
+
+
+def test_frame_counting():
+    stats = MacStats(node_id=1)
+    stats.count_tx("MRTS")
+    stats.count_tx("MRTS")
+    stats.count_rx("RDATA")
+    assert stats.frames_tx == {"MRTS": 2}
+    assert stats.frames_rx == {"RDATA": 1}
+
+
+def test_mrts_length_histogram_expansion():
+    stats = MacStats(node_id=1)
+    stats.record_mrts_length(18)
+    stats.record_mrts_length(18)
+    stats.record_mrts_length(30)
+    assert stats.mrts_lengths == {18: 2, 30: 1}
+    assert stats.mrts_length_values() == [18, 18, 30]

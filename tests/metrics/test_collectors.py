@@ -1,0 +1,47 @@
+"""Application-level metric collection."""
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector
+
+
+def test_delivery_ratio_counts_non_source_nodes():
+    collector = MetricsCollector()
+    for pkt in range(2):
+        collector.record_generated(pkt, pkt * 100)
+    # 3-node network: 2 packets x 2 receivers expected = 4.
+    collector.record_delivery(1, 0, 10)
+    collector.record_delivery(2, 0, 20)
+    collector.record_delivery(1, 1, 10)
+    assert collector.delivery_ratio(3) == pytest.approx(3 / 4)
+    assert collector.total_deliveries == 3
+    assert collector.n_generated == 2
+
+
+def test_delivery_ratio_none_without_traffic():
+    assert MetricsCollector().delivery_ratio(5) is None
+
+
+def test_mean_and_max_delay():
+    collector = MetricsCollector()
+    collector.record_delivery(1, 0, 100)
+    collector.record_delivery(2, 0, 300)
+    assert collector.mean_delay_ns() == pytest.approx(200)
+    assert collector.max_delay_ns() == 300
+
+
+def test_mean_delay_none_without_deliveries():
+    assert MetricsCollector().mean_delay_ns() is None
+    assert MetricsCollector().max_delay_ns() == 0
+
+
+def test_keep_delays_records_tuples():
+    collector = MetricsCollector(keep_delays=True)
+    collector.record_delivery(4, 7, 55)
+    assert collector.delay_records == [(4, 7, 55)]
+
+
+def test_delays_not_kept_by_default():
+    collector = MetricsCollector()
+    collector.record_delivery(4, 7, 55)
+    assert collector.delay_records == []

@@ -1,0 +1,85 @@
+"""Per-run aggregation into the paper's figure inputs."""
+
+import pytest
+
+from repro.mac.stats import MacStats
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.summary import summarize
+from repro.sim.units import SEC
+
+
+def forwarder(node_id, offered=10, dropped=1, retx=3, control=100, data=1000,
+              aborts=0, mrts=0, lengths=None):
+    stats = MacStats(node_id=node_id)
+    stats.packets_offered = offered
+    stats.packets_dropped = dropped
+    stats.retransmissions = retx
+    stats.control_tx_time = control
+    stats.data_tx_time = data
+    stats.mrts_transmissions = mrts
+    stats.mrts_aborted = aborts
+    for length, count in (lengths or {}).items():
+        stats.mrts_lengths[length] = count
+    return stats
+
+
+def test_non_leaf_definition_excludes_leaves():
+    leaf = MacStats(node_id=2)  # never offered a packet
+    fwd = forwarder(1)
+    metrics = MetricsCollector()
+    metrics.record_generated(0, 0)
+    metrics.record_delivery(1, 0, SEC)
+    summary = summarize("rmac", metrics, [fwd, leaf])
+    assert summary.n_forwarders == 1
+    assert summary.avg_drop_ratio == pytest.approx(0.1)
+    assert summary.avg_retx_ratio == pytest.approx(0.3)
+
+
+def test_ratios_averaged_over_nodes():
+    a = forwarder(0, offered=10, dropped=0, retx=0)
+    b = forwarder(1, offered=10, dropped=5, retx=10)
+    summary = summarize("rmac", MetricsCollector(), [a, b])
+    assert summary.avg_drop_ratio == pytest.approx(0.25)
+    assert summary.avg_retx_ratio == pytest.approx(0.5)
+
+
+def test_mrts_lengths_pooled_over_frames():
+    a = forwarder(0, mrts=3, lengths={18: 2, 30: 1})
+    b = forwarder(1, mrts=1, lengths={60: 1})
+    summary = summarize("rmac", MetricsCollector(), [a, b])
+    assert summary.mrts_len_avg == pytest.approx((18 * 2 + 30 + 60) / 4)
+    assert summary.mrts_len_max == 60
+
+
+def test_abort_ratio_per_node_not_pooled():
+    a = forwarder(0, mrts=10, aborts=1)
+    b = forwarder(1, mrts=100, aborts=0)
+    summary = summarize("rmac", MetricsCollector(), [a, b])
+    assert summary.abort_avg == pytest.approx(0.05)  # mean of 0.1 and 0.0
+    assert summary.abort_max == pytest.approx(0.1)
+
+
+def test_delay_converted_to_seconds():
+    metrics = MetricsCollector()
+    metrics.record_generated(0, 0)
+    metrics.record_delivery(1, 0, SEC // 2)
+    summary = summarize("rmac", metrics, [forwarder(0)])
+    assert summary.avg_delay_s == pytest.approx(0.5)
+    assert summary.max_delay_s == pytest.approx(0.5)
+
+
+def test_empty_run_yields_nones():
+    summary = summarize("rmac", MetricsCollector(), [MacStats(node_id=0)])
+    assert summary.delivery_ratio is None
+    assert summary.avg_delay_s is None
+    assert summary.avg_drop_ratio is None
+    assert summary.mrts_len_avg is None
+    assert summary.abort_avg is None
+
+
+def test_overhead_ratio_includes_abt_time():
+    stats = forwarder(0, control=100, data=1000)
+    stats.control_rx_time = 50
+    stats.abt_check_time = 50
+    summary = summarize("rmac", MetricsCollector(), [stats])
+    assert summary.avg_txoh_ratio == pytest.approx(0.2)

@@ -1,0 +1,89 @@
+"""Tree churn analytics."""
+
+import random
+
+import pytest
+
+from repro.net.bless import BlessConfig, BlessProtocol
+from repro.net.convergence import ChurnReport, analyze_churn
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC
+from repro.world.network import ScenarioConfig, build_network
+
+
+class FakeMac:
+    def send_unreliable(self, *a, **k):
+        return True
+
+
+def make_bless(node_id, history):
+    sim = Simulator()
+    bless = BlessProtocol(node_id, sim, FakeMac(), BlessConfig(), random.Random(1))
+    bless.parent_changes = list(history)
+    return bless
+
+
+def test_join_time_is_first_positive_parent():
+    root = make_bless(0, [])
+    node = make_bless(1, [(2 * SEC, 5), (4 * SEC, 7)])
+    report = analyze_churn([root, node], horizon=10 * SEC)
+    assert report.join_times == (2 * SEC,)
+    assert report.parent_changes == (1,)
+    assert report.all_joined
+
+
+def test_never_joined():
+    root = make_bless(0, [])
+    node = make_bless(1, [])
+    report = analyze_churn([root, node], horizon=10 * SEC)
+    assert report.join_times == (None,)
+    assert not report.all_joined
+    assert report.detached_fraction == (1.0,)
+
+
+def test_detached_fraction_integration():
+    # Joined at 2s, lost parent at 6s, rejoined at 7s (horizon 10s):
+    # detached for 2 + 1 = 3 of 10 seconds.
+    node = make_bless(1, [(2 * SEC, 5), (6 * SEC, -1), (7 * SEC, 3)])
+    report = analyze_churn([make_bless(0, []), node], horizon=10 * SEC)
+    assert report.detached_fraction[0] == pytest.approx(0.3)
+    assert report.parent_changes == (2,)
+
+
+def test_churn_rate_normalization():
+    node = make_bless(1, [(1 * SEC, 5), (2 * SEC, 6), (3 * SEC, 7)])
+    report = analyze_churn([make_bless(0, []), node], horizon=60 * SEC)
+    assert report.churn_rate_per_node_minute(60 * SEC) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        report.churn_rate_per_node_minute(0)
+
+
+def test_root_excluded():
+    report = analyze_churn([make_bless(0, [])], horizon=SEC)
+    assert report.join_times == ()
+    assert report.mean_parent_changes() == 0.0
+
+
+def test_full_run_static_network_converges_and_stays():
+    config = ScenarioConfig(protocol="rmac", n_nodes=14, width=210, height=150,
+                            rate_pps=5, n_packets=10, seed=4)
+    net = build_network(config)
+    net.run()
+    horizon = net.sim.now
+    report = analyze_churn([layer.bless for layer in net.layers], horizon)
+    assert report.all_joined
+    assert report.max_join_time() < 5 * SEC  # joined during warm-up
+    assert report.mean_detached_fraction() < 0.4
+
+
+def test_mobile_run_has_more_churn_than_static():
+    base = dict(protocol="rmac", n_nodes=14, width=210, height=150,
+                rate_pps=5, n_packets=30, seed=4)
+    static_net = build_network(ScenarioConfig(**base))
+    static_net.run()
+    static = analyze_churn([l.bless for l in static_net.layers], static_net.sim.now)
+    mobile_net = build_network(ScenarioConfig(mobile=True, max_speed=12.0,
+                                              pause_s=1.0, **base))
+    mobile_net.run()
+    mobile = analyze_churn([l.bless for l in mobile_net.layers], mobile_net.sim.now)
+    assert mobile.mean_parent_changes() > static.mean_parent_changes()

@@ -1,0 +1,104 @@
+"""The tree multicast application."""
+
+import random
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector
+from repro.net.bless import BlessConfig, BlessProtocol
+from repro.net.multicast import MulticastApp, MulticastConfig
+from repro.net.packet import MulticastPacket, RoutingMessage
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC
+
+
+class FakeMac:
+    def __init__(self):
+        self.reliable = []
+        self.unreliable = []
+
+    def send_reliable(self, receivers, payload, payload_bytes, on_complete=None):
+        self.reliable.append((tuple(receivers), payload))
+        return True
+
+    def send_unreliable(self, dst, payload, payload_bytes, on_complete=None):
+        self.unreliable.append((dst, payload))
+        return True
+
+
+def make_app(node_id, rate=10.0, n_packets=5, root=0, metrics=None):
+    sim = Simulator()
+    mac = FakeMac()
+    bless = BlessProtocol(node_id, sim, mac, BlessConfig(root=root), random.Random(1))
+    config = MulticastConfig(rate_pps=rate, n_packets=n_packets, start_time=1 * SEC)
+    app = MulticastApp(node_id, sim, mac, bless, config, metrics)
+    return sim, mac, bless, app
+
+
+def test_source_emits_at_rate():
+    metrics = MetricsCollector()
+    sim, mac, bless, app = make_app(0, rate=10, n_packets=5, metrics=metrics)
+    bless.on_routing_message(RoutingMessage(3, 1, 0), 3)  # one child
+    app.start()
+    sim.run(until=3 * SEC)
+    assert metrics.n_generated == 5
+    times = sorted(metrics.generated.values())
+    assert times[0] == 1 * SEC
+    assert times[1] - times[0] == 100_000_000  # 10 pps -> 100 ms
+    assert len(mac.reliable) == 5
+
+
+def test_source_without_children_counts_leaf_receptions():
+    sim, mac, bless, app = make_app(0, n_packets=3)
+    app.start()
+    sim.run(until=3 * SEC)
+    assert mac.reliable == []
+    assert app.leaf_receptions == 3
+
+
+def test_forwarding_to_current_children():
+    metrics = MetricsCollector()
+    sim, mac, bless, app = make_app(4, metrics=metrics)
+    bless.on_routing_message(RoutingMessage(8, 2, 4), 8)
+    bless.on_routing_message(RoutingMessage(9, 2, 4), 9)
+    packet = MulticastPacket(0, 0, created_at=0)
+    sim.at(10, lambda: app.on_packet(packet, from_node=1))
+    sim.run(until=100)
+    assert mac.reliable == [((8, 9), packet)]
+    assert metrics.deliveries_per_node == {4: 1}
+
+
+def test_duplicates_suppressed():
+    metrics = MetricsCollector()
+    sim, mac, bless, app = make_app(4, metrics=metrics)
+    bless.on_routing_message(RoutingMessage(8, 2, 4), 8)
+    packet = MulticastPacket(0, 0, created_at=0)
+    app.on_packet(packet, from_node=1)
+    app.on_packet(packet, from_node=2)  # duplicate via another path
+    assert len(mac.reliable) == 1
+    assert metrics.deliveries_per_node == {4: 1}
+
+
+def test_delay_recorded_from_creation():
+    metrics = MetricsCollector(keep_delays=True)
+    sim, mac, bless, app = make_app(4, metrics=metrics)
+    packet = MulticastPacket(0, 0, created_at=100)
+    sim.at(600, lambda: app.on_packet(packet, from_node=1))
+    sim.run(until=1000)
+    assert metrics.delay_records == [(4, 0, 500)]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MulticastConfig(rate_pps=0, n_packets=1)
+    with pytest.raises(ValueError):
+        MulticastConfig(rate_pps=1, n_packets=-1)
+    with pytest.raises(ValueError):
+        MulticastConfig(rate_pps=1, n_packets=1, payload_bytes=-1)
+
+
+def test_traffic_end_computation():
+    config = MulticastConfig(rate_pps=10, n_packets=11, start_time=1 * SEC)
+    assert config.traffic_end == 1 * SEC + 10 * 100_000_000
+    empty = MulticastConfig(rate_pps=10, n_packets=0, start_time=1 * SEC)
+    assert empty.traffic_end == 1 * SEC

@@ -1,0 +1,26 @@
+"""Network-layer packet types."""
+
+from repro.net.packet import MulticastPacket, RoutingMessage
+
+
+def test_routing_message_fields():
+    msg = RoutingMessage(origin=3, hops_to_root=2, parent=1)
+    assert msg.payload_bytes == 13
+    assert msg.joined
+
+
+def test_routing_message_unjoined():
+    msg = RoutingMessage(origin=3, hops_to_root=255, parent=-1)
+    assert not msg.joined
+
+
+def test_multicast_packet_defaults():
+    packet = MulticastPacket(pkt_id=0, origin=0, created_at=5)
+    assert packet.payload_bytes == 500  # the paper's packet size
+    assert packet.pkt_id == 0
+
+
+def test_packets_hashable_for_dedup_sets():
+    a = MulticastPacket(1, 0, 10)
+    b = MulticastPacket(1, 0, 10)
+    assert a == b and hash(a) == hash(b)

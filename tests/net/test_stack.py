@@ -1,0 +1,65 @@
+"""The per-node network layer dispatch."""
+
+import random
+
+from repro.net.bless import BlessConfig
+from repro.net.multicast import MulticastConfig
+from repro.net.packet import MulticastPacket, RoutingMessage
+from repro.net.stack import NetworkLayer
+from repro.sim.engine import Simulator
+
+
+class FakeMac:
+    def __init__(self):
+        self.upper_rx = None
+        self.reliable = []
+        self.unreliable = []
+
+    def send_reliable(self, receivers, payload, payload_bytes, on_complete=None):
+        self.reliable.append((tuple(receivers), payload))
+        return True
+
+    def send_unreliable(self, dst, payload, payload_bytes, on_complete=None):
+        self.unreliable.append((dst, payload))
+        return True
+
+
+def make_layer(node_id=4):
+    sim = Simulator()
+    mac = FakeMac()
+    layer = NetworkLayer(
+        node_id, sim, mac, BlessConfig(), MulticastConfig(rate_pps=1, n_packets=0),
+        random.Random(1),
+    )
+    return sim, mac, layer
+
+
+def test_mac_upper_rx_wired():
+    sim, mac, layer = make_layer()
+    assert mac.upper_rx == layer.on_receive
+
+
+def test_routing_messages_reach_bless():
+    sim, mac, layer = make_layer()
+    layer.on_receive(RoutingMessage(7, 1, 0), 7)
+    assert layer.bless.parent == 7
+
+
+def test_multicast_packets_reach_app():
+    sim, mac, layer = make_layer()
+    layer.on_receive(RoutingMessage(8, 2, 4), 8)  # child claims us
+    layer.on_receive(MulticastPacket(0, 0, 0), 7)
+    assert mac.reliable and mac.reliable[0][0] == (8,)
+
+
+def test_unknown_payloads_ignored():
+    sim, mac, layer = make_layer()
+    layer.on_receive("garbage", 7)  # no raise, no effect
+    assert mac.reliable == [] and mac.unreliable == []
+
+
+def test_start_begins_bless_broadcasts():
+    sim, mac, layer = make_layer()
+    layer.start()
+    sim.run(until=3 * 10**9)
+    assert len(mac.unreliable) >= 2

@@ -1,0 +1,71 @@
+"""Tree snapshots and the Section 4.1.1 statistics."""
+
+import pytest
+
+from repro.net.tree import TreeSnapshot, bfs_tree, tree_statistics
+
+
+def test_snapshot_children_and_hops():
+    #     0
+    #    / \
+    #   1   2
+    #   |
+    #   3
+    tree = TreeSnapshot(root=0, parents=(-1, 0, 0, 1))
+    assert tree.children_map() == {0: [1, 2], 1: [3], 2: [], 3: []}
+    assert tree.hops() == [0, 1, 1, 2]
+    assert tree.reachable() == [0, 1, 2, 3]
+
+
+def test_snapshot_detached_node():
+    tree = TreeSnapshot(root=0, parents=(-1, 0, -1))
+    assert tree.hops() == [0, 1, None]
+    assert tree.reachable() == [0, 1]
+
+
+def test_snapshot_cycle_detected_as_unreachable():
+    tree = TreeSnapshot(root=0, parents=(-1, 2, 1))
+    assert tree.hops()[1] is None and tree.hops()[2] is None
+
+
+def test_snapshot_validation():
+    with pytest.raises(ValueError):
+        TreeSnapshot(root=0, parents=(1, 0))
+    with pytest.raises(ValueError):
+        TreeSnapshot(root=5, parents=(-1,))
+
+
+def test_bfs_tree_on_chain():
+    coords = [(0, 0), (60, 0), (120, 0), (180, 0)]
+    tree = bfs_tree(coords, radio_range=75.0)
+    assert tree.parents == (-1, 0, 1, 2)
+    assert tree.hops() == [0, 1, 2, 3]
+
+
+def test_bfs_tree_prefers_smallest_id_parent():
+    # Nodes 1 and 2 both reach 3; BFS ties go to the smaller id.
+    coords = [(0, 0), (50, 0), (50, 10), (100, 5)]
+    tree = bfs_tree(coords, radio_range=75.0)
+    assert tree.parents[3] == 1
+
+
+def test_bfs_tree_disconnected():
+    coords = [(0, 0), (50, 0), (500, 0)]
+    tree = bfs_tree(coords, radio_range=75.0)
+    assert tree.parents[2] == -1
+    assert tree.hops()[2] is None
+
+
+def test_tree_statistics_values():
+    tree = TreeSnapshot(root=0, parents=(-1, 0, 0, 1, 1, 1))
+    stats = tree_statistics(tree)
+    # hops: [1,1,2,2,2] -> mean 1.6; children: root 2, node1 3.
+    assert stats["avg_hops"] == pytest.approx(1.6)
+    assert stats["avg_children"] == pytest.approx(2.5)
+    assert stats["p99_children"] == pytest.approx(2.99)
+    assert stats["reachable"] == 6
+
+
+def test_tree_statistics_single_node():
+    stats = tree_statistics(TreeSnapshot(root=0, parents=(-1,)))
+    assert stats["avg_hops"] == 0.0 and stats["avg_children"] == 0.0

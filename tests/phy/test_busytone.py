@@ -1,0 +1,197 @@
+"""Busy-tone channels: presence, lambda-detection, window queries."""
+
+import pytest
+
+from repro.phy.busytone import BusyToneChannel, ToneType
+from repro.phy.neighbors import NeighborService, StaticPositions
+from repro.phy.propagation import UnitDiskModel
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+LAMBDA = 15 * US
+
+
+def make_tone(coords):
+    sim = Simulator()
+    svc = NeighborService(StaticPositions(coords), UnitDiskModel(75.0))
+    tone = BusyToneChannel(sim, svc, ToneType.RBT, detect_time=LAMBDA)
+    return sim, tone
+
+
+def test_presence_appears_after_propagation():
+    sim, tone = make_tone([(0, 0), (50, 0)])  # delay 167 ns
+    tone.turn_on(0)
+    seen = {}
+    sim.at(100, lambda: seen.update(early=tone.present(1)))
+    sim.at(200, lambda: seen.update(later=tone.present(1)))
+    sim.at(500, lambda: tone.turn_off(0))
+    sim.at(500 + 100, lambda: seen.update(lingering=tone.present(1)))
+    sim.at(500 + 200, lambda: seen.update(gone=tone.present(1)))
+    sim.run()
+    assert seen == {"early": False, "later": True, "lingering": True, "gone": False}
+
+
+def test_self_emission_not_sensed():
+    sim, tone = make_tone([(0, 0), (50, 0)])
+    tone.turn_on(0)
+    seen = {}
+    sim.at(1000, lambda: seen.update(self_=tone.present(0), other=tone.present(1)))
+    sim.run(until=1000)
+    assert seen == {"self_": False, "other": True}
+
+
+def test_out_of_range_never_present():
+    sim, tone = make_tone([(0, 0), (200, 0)])
+    tone.turn_on(0)
+    sim.run(until=10 * US)
+    assert not tone.present(1)
+
+
+def test_presence_or_of_multiple_emitters():
+    sim, tone = make_tone([(0, 0), (50, 0), (0, 50)])
+    tone.turn_on(0)
+    sim.at(5 * US, lambda: tone.turn_on(2))
+    sim.at(10 * US, lambda: tone.turn_off(0))
+    seen = {}
+    sim.at(12 * US, lambda: seen.update(mid=tone.present(1)))
+    sim.at(20 * US, lambda: tone.turn_off(2))
+    sim.at(25 * US, lambda: seen.update(end=tone.present(1)))
+    sim.run()
+    assert seen == {"mid": True, "end": False}
+
+
+def test_double_on_off_rejected():
+    sim, tone = make_tone([(0, 0), (50, 0)])
+    tone.turn_on(0)
+    with pytest.raises(RuntimeError):
+        tone.turn_on(0)
+    tone.turn_off(0)
+    with pytest.raises(RuntimeError):
+        tone.turn_off(0)
+
+
+def test_pulse_turns_off_automatically():
+    sim, tone = make_tone([(0, 0), (50, 0)])
+    tone.pulse(0, 17 * US)
+    assert tone.is_emitting(0)
+    sim.run()
+    assert not tone.is_emitting(0)
+
+
+class TestLongestPresence:
+    def test_full_window_coverage(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        tone.turn_on(0)
+        sim.at(100 * US, lambda: tone.turn_off(0))
+        sim.run(until=120 * US)
+        # Window fully inside the presence interval.
+        assert tone.longest_presence(1, 10 * US, 27 * US) == 17 * US
+
+    def test_partial_overlap_below_lambda(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        sim.at(10 * US, lambda: tone.pulse(0, 5 * US))  # 5 us pulse
+        sim.run(until=50 * US)
+        overlap = tone.longest_presence(1, 0, 30 * US)
+        assert overlap == 5 * US
+        assert overlap < LAMBDA
+
+    def test_window_clipping(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        tone.turn_on(0)  # presence from 167ns onward
+        sim.at(100 * US, lambda: tone.turn_off(0))
+        sim.run(until=200 * US)
+        # Query a window that the tone only partially covers at its start.
+        assert tone.longest_presence(1, 95 * US, 112 * US) == 5 * US + 167
+
+    def test_merging_contiguous_emitters(self):
+        sim, tone = make_tone([(0, 0), (50, 0), (0, 50)])
+        # Two 10 us pulses that overlap slightly (the second starts 500 ns
+        # before the first ends, absorbing the differing link delays) merge
+        # into one >= lambda stretch at the common listener.
+        sim.at(0, lambda: tone.pulse(0, 10 * US))
+        sim.at(9_500, lambda: tone.pulse(2, 10 * US))
+        sim.run(until=50 * US)
+        assert tone.longest_presence(1, 0, 30 * US) >= 19 * US
+
+    def test_disjoint_pulses_not_merged(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        sim.at(0, lambda: tone.pulse(0, 8 * US))
+        sim.at(20 * US, lambda: tone.pulse(0, 8 * US))
+        sim.run(until=60 * US)
+        assert tone.longest_presence(1, 0, 40 * US) == 8 * US
+
+    def test_future_query_rejected(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        with pytest.raises(ValueError):
+            tone.longest_presence(1, 0, 10)
+
+    def test_no_presence_returns_zero(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        sim.run(until=10 * US)
+        assert tone.longest_presence(1, 0, 10 * US) == 0
+
+
+class TestDetectionWatch:
+    def test_detection_fires_after_lambda(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        hits = []
+        tone.watch_detection(1, lambda t: hits.append(sim.now))
+        tone.turn_on(0)
+        sim.run(until=100 * US)
+        assert hits == [LAMBDA + 167]
+
+    def test_short_pulse_not_detected(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        hits = []
+        tone.watch_detection(1, lambda t: hits.append(sim.now))
+        tone.pulse(0, 10 * US)  # < lambda
+        sim.run(until=100 * US)
+        assert hits == []
+
+    def test_watch_armed_mid_emission_still_fires(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        hits = []
+        tone.turn_on(0)
+        sim.at(5 * US, lambda: tone.watch_detection(1, lambda t: hits.append(sim.now)))
+        sim.run(until=100 * US)
+        assert hits == [LAMBDA + 167]
+
+    def test_watch_armed_after_detectable_fires_immediately(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        hits = []
+        tone.turn_on(0)
+        sim.at(40 * US, lambda: tone.watch_detection(1, lambda t: hits.append(sim.now)))
+        sim.run(until=100 * US)
+        assert hits == [40 * US]
+
+    def test_unwatch_cancels(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        hits = []
+        tone.watch_detection(1, lambda t: hits.append(sim.now))
+        tone.turn_on(0)
+        sim.at(5 * US, lambda: tone.unwatch_detection(1))
+        sim.run(until=100 * US)
+        assert hits == []
+
+    def test_watch_fires_once_then_disarms(self):
+        sim, tone = make_tone([(0, 0), (50, 0), (0, 50)])
+        hits = []
+        tone.watch_detection(1, lambda t: hits.append(sim.now))
+        tone.turn_on(0)
+        sim.at(30 * US, lambda: tone.turn_on(2))
+        sim.run(until=100 * US)
+        assert len(hits) == 1
+
+    def test_double_watch_rejected(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        tone.watch_detection(1, lambda t: None)
+        with pytest.raises(RuntimeError):
+            tone.watch_detection(1, lambda t: None)
+
+    def test_out_of_range_watcher_never_fires(self):
+        sim, tone = make_tone([(0, 0), (200, 0)])
+        hits = []
+        tone.watch_detection(1, lambda t: hits.append(1))
+        tone.turn_on(0)
+        sim.run(until=100 * US)
+        assert hits == []

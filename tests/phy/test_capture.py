@@ -1,0 +1,111 @@
+"""The optional capture effect (extension over the paper's model)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.phy.channel import DataChannel
+from repro.phy.neighbors import NeighborService, StaticPositions
+from repro.phy.params import DEFAULT_PHY
+from repro.phy.propagation import LogDistanceModel, UnitDiskModel
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+@dataclass(frozen=True)
+class Frame:
+    size_bytes: int
+    tag: str = ""
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+        self.errors = []
+
+    def on_frame_received(self, frame, sender):
+        self.received.append((frame.tag, sender))
+
+    def on_frame_error(self, sender):
+        self.errors.append(sender)
+
+    def on_tx_complete(self, frame, aborted):
+        pass
+
+    def on_rx_start(self, sender):
+        pass
+
+
+def make(coords, capture_db=None, model=None):
+    sim = Simulator()
+    svc = NeighborService(StaticPositions(coords),
+                          model or LogDistanceModel(path_loss_exponent=3.0))
+    channel = DataChannel(sim, svc, DEFAULT_PHY, capture_threshold_db=capture_db)
+    recorders = []
+    for node in range(len(coords)):
+        rec = Recorder()
+        channel.attach(node, rec)
+        recorders.append(rec)
+    return sim, channel, recorders
+
+
+# Node 1 sits 5 m from node 0 and 12 m from node 2: with exponent 3 both
+# signals are decodable at node 1 but the near one is ~11 dB stronger.
+NEAR_FAR = [(0.0, 0.0), (5.0, 0.0), (17.0, 0.0)]
+
+
+def test_strong_frame_survives_weak_interferer():
+    sim, ch, recs = make(NEAR_FAR, capture_db=10.0)
+    ch.transmit(0, Frame(100, "strong"))
+    sim.at(20 * US, lambda: ch.transmit(2, Frame(100, "weak")))
+    sim.run()
+    assert ("strong", 0) in recs[1].received
+    # The weak frame still dies at node 1.
+    assert 2 in recs[1].errors
+
+
+def test_late_strong_frame_captures_the_receiver():
+    sim, ch, recs = make(NEAR_FAR, capture_db=10.0)
+    ch.transmit(2, Frame(100, "weak"))
+    sim.at(20 * US, lambda: ch.transmit(0, Frame(100, "strong")))
+    sim.run()
+    assert ("strong", 0) in recs[1].received
+    assert 2 in recs[1].errors
+
+
+def test_comparable_powers_still_collide():
+    # Two transmitters equidistant from the middle: neither clears 10 dB.
+    coords = [(0.0, 0.0), (12.0, 0.0), (24.0, 0.0)]
+    sim, ch, recs = make(coords, capture_db=10.0)
+    ch.transmit(0, Frame(100, "a"))
+    sim.at(20 * US, lambda: ch.transmit(2, Frame(100, "b")))
+    sim.run()
+    assert recs[1].received == []
+    assert sorted(recs[1].errors) == [0, 2]
+
+
+def test_capture_disabled_everything_collides():
+    sim, ch, recs = make(NEAR_FAR, capture_db=None)
+    ch.transmit(0, Frame(100, "strong"))
+    sim.at(20 * US, lambda: ch.transmit(2, Frame(100, "weak")))
+    sim.run()
+    assert recs[1].received == []
+
+
+def test_capture_with_unit_disk_falls_back_to_collision():
+    # Unit-disk links carry no power: capture silently degrades to the
+    # paper's model rather than misbehaving.
+    sim, ch, recs = make([(0.0, 0.0), (30.0, 0.0), (60.0, 0.0)],
+                         capture_db=10.0, model=UnitDiskModel(75.0))
+    ch.transmit(0, Frame(100, "a"))
+    sim.at(20 * US, lambda: ch.transmit(2, Frame(100, "b")))
+    sim.run()
+    assert recs[1].received == []
+
+
+def test_signal_power_bookkeeping_drains():
+    sim, ch, recs = make(NEAR_FAR, capture_db=10.0)
+    ch.transmit(0, Frame(50, "x"))
+    sim.run()
+    sim.run(until=sim.now + 10 * US)
+    assert all(not signals for signals in ch._signal_powers.values())

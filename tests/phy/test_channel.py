@@ -1,0 +1,179 @@
+"""The data channel: delivery, carrier sense, collisions, aborts."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.phy.channel import DataChannel
+from repro.phy.error import UniformBitErrors
+from repro.phy.neighbors import NeighborService, StaticPositions
+from repro.phy.params import DEFAULT_PHY
+from repro.phy.propagation import UnitDiskModel
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+@dataclass(frozen=True)
+class Frame:
+    size_bytes: int
+    tag: str = ""
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+        self.errors = []
+        self.tx_done = []
+        self.rx_starts = []
+
+    def on_frame_received(self, frame, sender):
+        self.received.append((frame, sender))
+
+    def on_frame_error(self, sender):
+        self.errors.append(sender)
+
+    def on_tx_complete(self, frame, aborted):
+        self.tx_done.append((frame, aborted))
+
+    def on_rx_start(self, sender):
+        self.rx_starts.append(sender)
+
+
+def make_channel(coords, error_model=None):
+    sim = Simulator()
+    svc = NeighborService(StaticPositions(coords), UnitDiskModel(75.0))
+    channel = DataChannel(sim, svc, DEFAULT_PHY, error_model=error_model)
+    recorders = []
+    for node in range(len(coords)):
+        rec = Recorder()
+        channel.attach(node, rec)
+        recorders.append(rec)
+    return sim, channel, recorders
+
+
+def test_clean_delivery_to_all_in_range():
+    sim, ch, recs = make_channel([(0, 0), (50, 0), (200, 0)])
+    frame = Frame(100)
+    ch.transmit(0, frame)
+    sim.run()
+    assert recs[1].received == [(frame, 0)]
+    assert recs[1].rx_starts == [0]
+    assert recs[2].received == [] and recs[2].rx_starts == []
+    assert recs[0].tx_done == [(frame, False)]
+
+
+def test_airtime_and_propagation_timing():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    frame = Frame(14)  # 152 us airtime
+    ch.transmit(0, frame)
+    done_at = {}
+    sim.run()
+    # delivery occurs at tx end + propagation (~167 ns for 50 m)
+    assert sim.now == 152 * US + 167
+
+
+def test_carrier_sense_during_transmission():
+    sim, ch, recs = make_channel([(0, 0), (50, 0), (200, 0)])
+    ch.transmit(0, Frame(100))
+    states = {}
+    sim.at(50 * US, lambda: states.update(
+        tx=ch.busy(0), near=ch.busy(1), far=ch.busy(2)))
+    sim.run()
+    assert states == {"tx": True, "near": True, "far": False}
+    assert not ch.busy(0) and not ch.busy(1)
+
+
+def test_idle_duration_tracks_last_busy():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    ch.transmit(0, Frame(14))  # 152 us
+    sim.run()
+    end_at_receiver = 152 * US + 167
+    sim_now = sim.now
+    assert ch.idle_duration(1) == sim_now - end_at_receiver
+    assert ch.idle_duration(0) == sim_now - 152 * US
+
+
+def test_overlapping_transmissions_collide_at_common_receiver():
+    # 0 and 2 are hidden from each other; 1 hears both.
+    sim, ch, recs = make_channel([(0, 0), (60, 0), (120, 0)])
+    ch.transmit(0, Frame(100, "a"))
+    sim.at(10 * US, lambda: ch.transmit(2, Frame(100, "b")))
+    sim.run()
+    assert recs[1].received == []
+    assert len(recs[1].errors) == 2
+
+
+def test_second_frame_corrupts_even_if_first_nearly_done():
+    sim, ch, recs = make_channel([(0, 0), (60, 0), (120, 0)])
+    ch.transmit(0, Frame(100, "a"))  # ends at 496 us
+    sim.at(495 * US, lambda: ch.transmit(2, Frame(100, "b")))
+    sim.run()
+    assert recs[1].received == []
+
+
+def test_non_overlapping_frames_both_delivered():
+    sim, ch, recs = make_channel([(0, 0), (60, 0), (120, 0)])
+    ch.transmit(0, Frame(100, "a"))
+    sim.at(600 * US, lambda: ch.transmit(2, Frame(100, "b")))
+    sim.run()
+    tags = [f.tag for f, _ in recs[1].received]
+    assert tags == ["a", "b"]
+
+
+def test_receiver_transmitting_cannot_receive():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    ch.transmit(0, Frame(100, "a"))
+    sim.at(10 * US, lambda: ch.transmit(1, Frame(14, "b")))
+    sim.run()
+    # node 1 was transmitting during part of frame a's arrival
+    assert recs[1].received == []
+    assert recs[1].errors == [0]
+    # node 0 was transmitting while b arrived: also corrupted
+    assert recs[0].received == []
+
+
+def test_abort_truncates_and_never_delivers():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    tx = ch.transmit(0, Frame(100, "a"))
+    sim.at(30 * US, lambda: ch.abort(tx))
+    sim.run()
+    assert recs[0].tx_done == [(tx.frame, True)]
+    assert recs[1].received == []
+    assert recs[1].errors == [0]
+    assert tx.aborted and tx.end == 30 * US
+    # channel is idle again right after the truncated frame propagates
+    assert not ch.busy(1)
+
+
+def test_abort_shortens_busy_interval():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    tx = ch.transmit(0, Frame(500))
+    sim.at(20 * US, lambda: ch.abort(tx))
+    busy_mid = {}
+    sim.at(100 * US, lambda: busy_mid.update(b=ch.busy(1)))
+    sim.run()
+    assert busy_mid == {"b": False}
+
+
+def test_cannot_transmit_twice_concurrently():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    ch.transmit(0, Frame(100))
+    with pytest.raises(RuntimeError):
+        ch.transmit(0, Frame(100))
+
+
+def test_abort_after_completion_rejected():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    tx = ch.transmit(0, Frame(14))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        ch.abort(tx)
+    assert recs[1].received  # the clean delivery already happened
+
+
+def test_bit_errors_drop_frames():
+    sim, ch, recs = make_channel([(0, 0), (50, 0)], error_model=UniformBitErrors(0.99))
+    ch.transmit(0, Frame(100))
+    sim.run()
+    assert recs[1].received == []
+    assert recs[1].errors == [0]

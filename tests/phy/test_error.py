@@ -1,0 +1,50 @@
+"""Bit-error models."""
+
+import random
+
+import pytest
+
+from repro.phy.error import NoErrors, UniformBitErrors
+
+
+def test_no_errors_never_corrupts():
+    model = NoErrors()
+    rng = random.Random(0)
+    assert not any(model.corrupts(10_000, rng) for _ in range(100))
+
+
+def test_zero_ber_never_corrupts():
+    model = UniformBitErrors(0.0)
+    rng = random.Random(0)
+    assert not any(model.corrupts(10_000, rng) for _ in range(100))
+
+
+def test_success_probability_formula():
+    model = UniformBitErrors(1e-4)
+    assert model.frame_success_probability(100) == pytest.approx(
+        (1 - 1e-4) ** 800
+    )
+    assert model.frame_success_probability(0) == 1.0
+
+
+def test_longer_frames_more_fragile():
+    model = UniformBitErrors(1e-4)
+    assert model.frame_success_probability(1000) < model.frame_success_probability(10)
+
+
+def test_corruption_rate_statistically_close():
+    model = UniformBitErrors(1e-3)
+    rng = random.Random(42)
+    n = 4000
+    corrupted = sum(model.corrupts(100, rng) for _ in range(n))
+    expected = 1 - model.frame_success_probability(100)
+    assert corrupted / n == pytest.approx(expected, abs=0.03)
+
+
+def test_ber_bounds():
+    with pytest.raises(ValueError):
+        UniformBitErrors(-0.1)
+    with pytest.raises(ValueError):
+        UniformBitErrors(1.0)
+    with pytest.raises(ValueError):
+        UniformBitErrors(0.5).frame_success_probability(-1)

@@ -1,0 +1,88 @@
+"""The busy->idle notification paths behind the MAC pump optimization."""
+
+from dataclasses import dataclass
+
+from repro.phy.busytone import ToneType
+from repro.sim.units import US
+from repro.world.testbed import MacTestbed
+
+
+@dataclass(frozen=True)
+class Frame:
+    size_bytes: int
+
+
+def test_notify_idle_fires_immediately_when_already_idle():
+    tb = MacTestbed(coords=[(0, 0), (50, 0)])
+    fired = []
+    tb.data_channel.notify_idle(1, lambda: fired.append(tb.sim.now))
+    assert fired == [0]
+
+
+def test_notify_idle_fires_at_transition():
+    tb = MacTestbed(coords=[(0, 0), (50, 0)])
+    tb.data_channel.transmit(0, Frame(100))  # 496 us airtime
+    fired = []
+    tb.sim.at(10 * US, lambda: tb.data_channel.notify_idle(1, lambda: fired.append(tb.sim.now)))
+    tb.run(5_000_000)
+    assert fired == [496 * US + 167]
+
+
+def test_notify_idle_is_one_shot():
+    tb = MacTestbed(coords=[(0, 0), (50, 0)])
+    tb.data_channel.transmit(0, Frame(50))
+    fired = []
+    tb.sim.at(10 * US, lambda: tb.data_channel.notify_idle(1, lambda: fired.append(1)))
+    tb.run(2_000_000)
+    tb.data_channel.transmit(0, Frame(50))
+    tb.run(5_000_000)
+    assert fired == [1]  # the second busy period does not re-fire it
+
+
+def test_notify_idle_sender_side_at_tx_end():
+    tb = MacTestbed(coords=[(0, 0), (50, 0)])
+    tb.data_channel.transmit(0, Frame(50))  # sender busy with own tx
+    fired = []
+    tb.sim.at(10 * US, lambda: tb.data_channel.notify_idle(0, lambda: fired.append(tb.sim.now)))
+    tb.run(5_000_000)
+    # 50 B + 28... Frame(50) raw: airtime = 96 + 200 us = 296 us.
+    assert fired == [296 * US]
+
+
+def test_notify_idle_fires_at_abort():
+    tb = MacTestbed(coords=[(0, 0), (50, 0)])
+    tx = tb.data_channel.transmit(0, Frame(500))
+    fired = []
+    tb.sim.at(10 * US, lambda: tb.data_channel.notify_idle(0, lambda: fired.append(tb.sim.now)))
+    tb.sim.at(40 * US, lambda: tb.data_channel.abort(tx))
+    tb.run(5_000_000)
+    assert fired == [40 * US]
+
+
+def test_tone_notify_clear_immediate_and_at_transition():
+    tb = MacTestbed(coords=[(0, 0), (50, 0)])
+    channel = tb.tones[ToneType.RBT]
+    fired = []
+    channel.notify_clear(1, lambda: fired.append(("immediate", tb.sim.now)))
+    assert fired == [("immediate", 0)]
+    channel.turn_on(0)
+    tb.run(1 * US)
+    tb.sim.at(100 * US, lambda: channel.notify_clear(1, lambda: fired.append(("cleared", tb.sim.now))))
+    tb.sim.at(200 * US, lambda: channel.turn_off(0))
+    tb.run(1_000_000)
+    assert fired[-1] == ("cleared", 200 * US + 167)
+
+
+def test_tone_notify_clear_waits_for_all_emitters():
+    tb = MacTestbed(coords=[(0, 0), (50, 0), (0, 50)])
+    channel = tb.tones[ToneType.RBT]
+    channel.turn_on(0)
+    channel.turn_on(2)
+    tb.run(1 * US)
+    fired = []
+    tb.sim.at(10 * US, lambda: channel.notify_clear(1, lambda: fired.append(tb.sim.now)))
+    tb.sim.at(100 * US, lambda: channel.turn_off(0))
+    tb.sim.at(300 * US, lambda: channel.turn_off(2))
+    tb.run(1_000_000)
+    assert len(fired) == 1
+    assert fired[0] > 300 * US  # only when the LAST emitter's tone fades

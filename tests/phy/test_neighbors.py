@@ -1,0 +1,88 @@
+"""Neighborhood evaluation and propagation delays."""
+
+import numpy as np
+import pytest
+
+from repro.phy.neighbors import (
+    NeighborService,
+    StaticPositions,
+    propagation_delay_ns,
+)
+from repro.phy.propagation import UnitDiskModel
+
+
+def service(coords, rng=75.0, **kw):
+    return NeighborService(StaticPositions(coords), UnitDiskModel(rng), **kw)
+
+
+def test_propagation_delay_speed_of_light():
+    # 75 m / c ~ 250 ns
+    assert propagation_delay_ns(75.0) == pytest.approx(250, abs=1)
+    assert propagation_delay_ns(300.0) <= 1001  # paper's tau bound
+    assert propagation_delay_ns(0.0) == 1  # floor
+
+
+def test_links_exclude_sender_and_out_of_range():
+    svc = service([(0, 0), (50, 0), (200, 0)])
+    links = svc.links_from(0, 0)
+    assert [l.node for l in links] == [1]
+    assert links[0].in_rx_range
+
+
+def test_links_symmetric_for_unit_disk():
+    svc = service([(0, 0), (74, 0), (149, 0)])
+    assert [l.node for l in svc.links_from(1, 0)] == [0, 2]
+    assert [l.node for l in svc.links_from(0, 0)] == [1]
+
+
+def test_static_results_cached():
+    svc = service([(0, 0), (50, 0)])
+    assert svc.links_from(0, 0) is svc.links_from(0, 10**9)
+
+
+def test_distance_and_in_rx_range():
+    svc = service([(0, 0), (30, 40)])
+    assert svc.distance(0, 1, 0) == pytest.approx(50.0)
+    assert svc.in_rx_range(0, 1, 0)
+
+
+def test_invalidate_clears_cache():
+    svc = service([(0, 0), (50, 0)])
+    first = svc.links_from(0, 0)
+    svc.invalidate()
+    second = svc.links_from(0, 0)
+    assert first is not second and [l.node for l in first] == [l.node for l in second]
+
+
+def test_unknown_sender_rejected():
+    svc = service([(0, 0)])
+    with pytest.raises(ValueError):
+        svc.links_from(5, 0)
+
+
+class _MovingProvider:
+    """Node 1 teleports out of range at t = 1s."""
+
+    def positions(self, time_ns):
+        second = np.array([50.0, 0.0]) if time_ns < 10**9 else np.array([500.0, 0.0])
+        return np.vstack([[0.0, 0.0], second])
+
+    def is_static(self):
+        return False
+
+
+def test_mobile_cache_window_refreshes():
+    svc = NeighborService(_MovingProvider(), UnitDiskModel(75.0), cache_window=1000)
+    assert [l.node for l in svc.links_from(0, 0)] == [1]
+    assert [l.node for l in svc.links_from(0, 2 * 10**9)] == []
+
+
+def test_mobile_cache_window_zero_is_exact():
+    svc = NeighborService(_MovingProvider(), UnitDiskModel(75.0), cache_window=0)
+    assert [l.node for l in svc.links_from(0, 10**9 - 1)] == [1]
+    assert [l.node for l in svc.links_from(0, 10**9)] == []
+
+
+def test_static_positions_validation():
+    with pytest.raises(ValueError):
+        StaticPositions([[1, 2, 3]])

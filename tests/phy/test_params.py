@@ -1,0 +1,53 @@
+"""802.11b timing constants -- the numbers Section 2 relies on."""
+
+import pytest
+
+from repro.phy.params import DEFAULT_PHY, PhyParams, _bits_airtime
+from repro.sim.units import US
+
+
+def test_phy_overhead_is_96_us():
+    assert DEFAULT_PHY.phy_overhead == 96 * US
+    assert DEFAULT_PHY.preamble_airtime == 72 * US
+    assert DEFAULT_PHY.plcp_header_airtime == 24 * US
+
+
+def test_ack_airtime_matches_paper():
+    # "The transmission of an ACK frame (14 bytes) only takes 56 us if
+    # transmitted at 2 Mbps."
+    assert DEFAULT_PHY.payload_airtime(14) == 56 * US
+    assert DEFAULT_PHY.frame_airtime(14) == 152 * US
+
+
+def test_difs_is_50_us():
+    assert DEFAULT_PHY.difs == 50 * US
+    assert DEFAULT_PHY.sifs == 10 * US
+    assert DEFAULT_PHY.slot_time == 20 * US
+    assert DEFAULT_PHY.cca_time == 15 * US
+
+
+def test_payload_airtime_scales_linearly():
+    assert DEFAULT_PHY.payload_airtime(500) == 2000 * US
+    assert DEFAULT_PHY.payload_airtime(0) == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DEFAULT_PHY.payload_airtime(-1)
+
+
+def test_bits_airtime_requires_integral_ns():
+    assert _bits_airtime(8, 2_000_000) == 4 * US
+    with pytest.raises(ValueError):
+        _bits_airtime(1, 3_000_000)  # 333.33 ns
+
+
+def test_custom_bitrate():
+    phy = PhyParams(bitrate=1_000_000)
+    assert phy.payload_airtime(14) == 112 * US
+
+
+def test_frame_airtime_composition():
+    phy = DEFAULT_PHY
+    for n in (14, 20, 48, 512):
+        assert phy.frame_airtime(n) == phy.phy_overhead + phy.payload_airtime(n)

@@ -1,0 +1,60 @@
+"""Property tests: busy-tone presence accounting never leaks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.busytone import BusyToneChannel, ToneType
+from repro.phy.neighbors import NeighborService, StaticPositions
+from repro.phy.propagation import UnitDiskModel
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+
+@st.composite
+def pulse_schedules(draw):
+    """A set of (emitter, start, duration) pulses on a 3-node line."""
+    n_pulses = draw(st.integers(min_value=1, max_value=12))
+    pulses = []
+    busy_until = {}
+    for _ in range(n_pulses):
+        emitter = draw(st.integers(min_value=0, max_value=2))
+        start = draw(st.integers(min_value=0, max_value=500 * US))
+        duration = draw(st.integers(min_value=1 * US, max_value=50 * US))
+        # avoid double-on for the same emitter (a protocol invariant)
+        if start < busy_until.get(emitter, -1):
+            continue
+        busy_until[emitter] = start + duration
+        pulses.append((emitter, start, duration))
+    return pulses
+
+
+@settings(max_examples=60, deadline=None)
+@given(pulses=pulse_schedules())
+def test_presence_always_clears_after_all_pulses(pulses):
+    sim = Simulator()
+    svc = NeighborService(StaticPositions([(0, 0), (50, 0), (100, 0)]),
+                          UnitDiskModel(75.0))
+    tone = BusyToneChannel(sim, svc, ToneType.ABT, detect_time=15 * US)
+    for emitter, start, duration in pulses:
+        sim.at(start, lambda e=emitter, d=duration: tone.pulse(e, d))
+    sim.run()
+    sim.run(until=sim.now + 10 * US)
+    for node in range(3):
+        assert not tone.present(node)
+        assert not tone.is_emitting(node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pulses=pulse_schedules())
+def test_longest_presence_bounded_by_window_and_total(pulses):
+    sim = Simulator()
+    svc = NeighborService(StaticPositions([(0, 0), (50, 0), (100, 0)]),
+                          UnitDiskModel(75.0))
+    tone = BusyToneChannel(sim, svc, ToneType.ABT, detect_time=15 * US)
+    for emitter, start, duration in pulses:
+        sim.at(start, lambda e=emitter, d=duration: tone.pulse(e, d))
+    sim.run()
+    end = sim.now
+    window = tone.longest_presence(1, 0, end)
+    assert 0 <= window <= end
+    # A sub-window can never see more presence than the full window.
+    assert tone.longest_presence(1, 0, end // 2 or 1) <= window or window == 0

@@ -1,0 +1,107 @@
+"""Property tests: data-channel bookkeeping conservation.
+
+Whatever mix of transmissions and aborts runs, after everything
+propagates: busy counters are zero everywhere, nobody is mid-reception,
+idle notifications fired, and every (sender, receiver) pair saw exactly
+one terminal event (delivery or error) per decodable transmission.
+"""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.channel import DataChannel
+from repro.phy.neighbors import NeighborService, StaticPositions
+from repro.phy.params import DEFAULT_PHY
+from repro.phy.propagation import UnitDiskModel
+from repro.sim.engine import Simulator
+from repro.sim.units import US
+
+COORDS = [(0.0, 0.0), (50.0, 0.0), (100.0, 0.0), (150.0, 0.0)]
+
+
+@dataclass(frozen=True)
+class Frame:
+    size_bytes: int
+    uid: int = 0
+
+
+class Recorder:
+    def __init__(self):
+        self.received = 0
+        self.errors = 0
+        self.tx_done = 0
+        self.rx_starts = 0
+
+    def on_frame_received(self, frame, sender):
+        self.received += 1
+
+    def on_frame_error(self, sender):
+        self.errors += 1
+
+    def on_tx_complete(self, frame, aborted):
+        self.tx_done += 1
+
+    def on_rx_start(self, sender):
+        self.rx_starts += 1
+
+
+@st.composite
+def schedules(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    items = []
+    for uid in range(n):
+        sender = draw(st.integers(min_value=0, max_value=3))
+        start = draw(st.integers(min_value=0, max_value=2000 * US))
+        size = draw(st.integers(min_value=10, max_value=400))
+        abort_frac = draw(st.one_of(st.none(), st.floats(min_value=0.05, max_value=0.95)))
+        items.append((uid, sender, start, size, abort_frac))
+    return items
+
+
+@settings(max_examples=50, deadline=None)
+@given(schedule=schedules())
+def test_channel_conservation(schedule):
+    sim = Simulator()
+    svc = NeighborService(StaticPositions(COORDS), UnitDiskModel(75.0))
+    channel = DataChannel(sim, svc, DEFAULT_PHY)
+    recorders = [Recorder() for _ in COORDS]
+    for node, rec in enumerate(recorders):
+        channel.attach(node, rec)
+
+    launched = []
+
+    def launch(uid, sender, size, abort_frac):
+        if channel.is_transmitting(sender):
+            return  # half-duplex: a node cannot start a second tx
+        tx = channel.transmit(sender, Frame(size, uid))
+        launched.append(tx)
+        if abort_frac is not None:
+            abort_at = sim.now + int(tx.airtime * abort_frac)
+            sim.at(abort_at, lambda tx=tx: channel.abort(tx) if not tx.aborted
+                   and channel.current_tx(tx.sender) is tx else None)
+
+    for uid, sender, start, size, abort_frac in schedule:
+        sim.at(start, lambda u=uid, s=sender, z=size, a=abort_frac: launch(u, s, z, a))
+    sim.run()
+    sim.run(until=sim.now + 10 * US)
+
+    # Conservation: all busy counters drained, nobody stuck receiving.
+    for node in range(len(COORDS)):
+        assert not channel.busy(node)
+        assert not channel.is_transmitting(node)
+        assert not channel._receiving.get(node)
+
+    # Every launched transmission completed exactly once at the sender.
+    assert sum(r.tx_done for r in recorders) == len(launched)
+
+    # Every decodable (in-range) arrival terminated in exactly one of
+    # delivery or error.
+    expected_terminals = sum(
+        sum(1 for link in tx.links if link.in_rx_range) for tx in launched
+    )
+    terminals = sum(r.received + r.errors for r in recorders)
+    assert terminals == expected_terminals
+
+    # rx_start fires once per decodable arrival.
+    assert sum(r.rx_starts for r in recorders) == expected_terminals

@@ -1,0 +1,67 @@
+"""Property tests: the event engine never reorders time."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9),
+                       min_size=1, max_size=60))
+def test_execution_is_time_sorted(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.at(d, lambda d=d: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**6),
+                       min_size=2, max_size=40),
+       cancel_mask=st.lists(st.booleans(), min_size=2, max_size=40))
+def test_cancellation_subset(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = [sim.at(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)]
+    for handle, cancel in zip(handles, cancel_mask):
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = [i for i, (d, c) in enumerate(zip(delays, cancel_mask[:len(delays)]))
+                if not c]
+    # pad mask for unzipped tail
+    expected = [i for i in range(len(delays))
+                if not (i < len(cancel_mask) and cancel_mask[i])]
+    assert sorted(fired) == expected
+
+
+@given(chain=st.lists(st.integers(min_value=1, max_value=1000),
+                      min_size=1, max_size=30))
+def test_relative_scheduling_accumulates(chain):
+    sim = Simulator()
+    times = []
+
+    def step(remaining):
+        times.append(sim.now)
+        if remaining:
+            sim.after(remaining[0], lambda: step(remaining[1:]))
+
+    sim.at(0, lambda: step(chain))
+    sim.run()
+    expected, acc = [0], 0
+    for d in chain:
+        acc += d
+        expected.append(acc)
+    assert times == expected
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                          st.booleans()), min_size=1, max_size=50))
+def test_monotonic_now_during_run(events):
+    sim = Simulator()
+    observed = []
+    for t, _ in events:
+        sim.at(t, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)

@@ -1,0 +1,81 @@
+"""Property tests: frame wire formats round-trip for arbitrary inputs."""
+
+from hypothesis import given, strategies as st
+
+from repro.mac.frames import (
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    MrtsFrame,
+    RakFrame,
+    RtsFrame,
+)
+
+node_ids = st.integers(min_value=0, max_value=2**48 - 3)
+aux_values = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@given(
+    transmitter=node_ids,
+    receivers=st.lists(node_ids, min_size=1, max_size=30, unique=True),
+)
+def test_mrts_roundtrip(transmitter, receivers):
+    frame = MrtsFrame(transmitter, tuple(receivers))
+    decoded = MrtsFrame.from_bytes(frame.to_bytes())
+    assert decoded == frame
+    assert len(frame.to_bytes()) == 12 + 6 * len(receivers)
+
+
+@given(
+    transmitter=node_ids,
+    receivers=st.lists(node_ids, min_size=1, max_size=30, unique=True),
+    index=st.data(),
+)
+def test_mrts_index_bijection(transmitter, receivers, index):
+    frame = MrtsFrame(transmitter, tuple(receivers))
+    for i, r in enumerate(receivers):
+        assert frame.index_of(r) == i
+
+
+@given(transmitter=node_ids, receiver=node_ids, aux=aux_values)
+def test_rts_roundtrip(transmitter, receiver, aux):
+    frame = RtsFrame(transmitter, receiver, aux)
+    assert RtsFrame.from_bytes(frame.to_bytes()) == frame
+
+
+@given(receiver=node_ids, aux=aux_values,
+       cls=st.sampled_from([CtsFrame, AckFrame, RakFrame]))
+def test_response_roundtrip_wire_fields(receiver, aux, cls):
+    frame = cls(transmitter=5, receiver=receiver, aux=aux)
+    decoded = cls.from_bytes(frame.to_bytes())
+    assert decoded.receiver == receiver
+    assert decoded.aux == aux
+
+
+@given(
+    src=node_ids,
+    dst=st.one_of(node_ids, st.sampled_from([-1, -2])),
+    seq=st.integers(min_value=0, max_value=0xFFFF),
+    payload_bytes=st.integers(min_value=0, max_value=2000),
+    reliable=st.booleans(),
+    overhead=st.integers(min_value=0, max_value=255),
+)
+def test_data_roundtrip(src, dst, seq, payload_bytes, reliable, overhead):
+    frame = DataFrame(src=src, dst=dst, seq=seq, payload_bytes=payload_bytes,
+                      reliable=reliable, overhead=overhead)
+    decoded = DataFrame.from_bytes(frame.to_bytes())
+    assert (decoded.src, decoded.dst, decoded.seq) == (src, dst, seq)
+    assert decoded.payload_bytes == payload_bytes
+    assert decoded.reliable == reliable
+    assert decoded.overhead == overhead
+
+
+@given(data=st.binary(min_size=0, max_size=64))
+def test_arbitrary_bytes_never_crash_decoder(data):
+    from repro.mac.frames import FrameDecodeError
+
+    for cls in (MrtsFrame, RtsFrame, CtsFrame, DataFrame):
+        try:
+            cls.from_bytes(data)
+        except FrameDecodeError:
+            pass  # rejection is the expected failure mode

@@ -1,0 +1,31 @@
+"""Property tests: the Section 3.4 receiver split is a partition."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.mrts import split_receivers
+
+receiver_lists = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=1, max_size=120, unique=True
+)
+limits = st.integers(min_value=1, max_value=25)
+
+
+@given(receivers=receiver_lists, limit=limits)
+def test_split_is_an_ordered_partition(receivers, limit):
+    chunks = split_receivers(receivers, limit)
+    flat = [r for chunk in chunks for r in chunk]
+    assert flat == list(receivers)          # order preserved, nothing lost
+    assert all(1 <= len(c) <= limit for c in chunks)
+
+
+@given(receivers=receiver_lists, limit=limits)
+def test_split_chunk_count_is_minimal(receivers, limit):
+    chunks = split_receivers(receivers, limit)
+    n = len(receivers)
+    assert len(chunks) == -(-n // limit)    # ceil division
+
+
+@given(receivers=receiver_lists, limit=limits)
+def test_all_chunks_full_except_last(receivers, limit):
+    chunks = split_receivers(receivers, limit)
+    assert all(len(c) == limit for c in chunks[:-1])

@@ -1,0 +1,57 @@
+"""Property tests: BFS trees over random placements are lawful."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.tree import bfs_tree, tree_statistics
+from repro.world.placement import connected_components
+
+
+@st.composite
+def placements(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    return [(rng.uniform(0, 300), rng.uniform(0, 200)) for _ in range(n)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords=placements())
+def test_tree_spans_exactly_the_roots_component(coords):
+    tree = bfs_tree(coords, radio_range=75.0)
+    components = connected_components(coords, 75.0)
+    root_component = next(c for c in components if 0 in c)
+    assert tree.reachable() == root_component
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords=placements())
+def test_tree_is_acyclic_with_minimal_hops(coords):
+    tree = bfs_tree(coords, radio_range=75.0)
+    hops = tree.hops()
+    for node, parent in enumerate(tree.parents):
+        if parent >= 0:
+            assert hops[node] == hops[parent] + 1  # BFS layering, no cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords=placements())
+def test_tree_edges_respect_radio_range(coords):
+    import math
+
+    tree = bfs_tree(coords, radio_range=75.0)
+    for node, parent in enumerate(tree.parents):
+        if parent >= 0:
+            d = math.dist(coords[node], coords[parent])
+            assert d <= 75.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(coords=placements())
+def test_statistics_are_finite_and_consistent(coords):
+    tree = bfs_tree(coords, radio_range=75.0)
+    stats = tree_statistics(tree)
+    assert 0 <= stats["avg_hops"] <= len(coords)
+    assert stats["p99_hops"] >= stats["avg_hops"] or stats["avg_hops"] == 0
+    assert stats["reachable"] >= 1

@@ -1,0 +1,53 @@
+"""Property tests: random-waypoint trajectories stay lawful."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.sim.units import SEC
+
+
+@st.composite
+def rwp_models(draw):
+    width = draw(st.floats(min_value=50, max_value=1000))
+    height = draw(st.floats(min_value=50, max_value=1000))
+    x = draw(st.floats(min_value=0, max_value=1)) * width
+    y = draw(st.floats(min_value=0, max_value=1)) * height
+    max_speed = draw(st.floats(min_value=0.5, max_value=20))
+    min_speed = draw(st.floats(min_value=0, max_value=1)) * max_speed
+    pause = draw(st.floats(min_value=0, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return RandomWaypointModel(x, y, width, height, min_speed, max_speed,
+                               pause, random.Random(seed))
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=rwp_models(), times=st.lists(
+    st.integers(min_value=0, max_value=600 * SEC), min_size=1, max_size=30))
+def test_positions_always_in_bounds(model, times):
+    for t in times:
+        x, y = model.position(t)
+        assert -1e-9 <= x <= model.width + 1e-9
+        assert -1e-9 <= y <= model.height + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=rwp_models(), t=st.integers(min_value=0, max_value=600 * SEC))
+def test_positions_deterministic_on_requery(model, t):
+    first = model.position(t)
+    model.position(t + 100 * SEC)  # extend further
+    assert model.position(t) == first
+
+
+@settings(max_examples=20, deadline=None)
+@given(model=rwp_models())
+def test_displacement_bounded_by_max_speed(model):
+    dt = SEC
+    prev = model.position(0)
+    for t in range(dt, 120 * SEC, dt):
+        cur = model.position(t)
+        dist = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+        assert dist <= model.max_speed * (dt / SEC) * (1 + 1e-6)
+        prev = cur

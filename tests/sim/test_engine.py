@@ -1,0 +1,165 @@
+"""The discrete-event core: ordering, cancellation, run control."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(30, lambda: fired.append("c"))
+    sim.at(10, lambda: fired.append("a"))
+    sim.at(20, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abcde":
+        sim.at(5, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(100, lambda: sim.after(50, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [150]
+
+
+def test_call_soon_runs_at_current_time_after_peers():
+    sim = Simulator()
+    fired = []
+    def first():
+        fired.append("first")
+        sim.call_soon(lambda: fired.append("soon"))
+    sim.at(10, first)
+    sim.at(10, lambda: fired.append("second"))
+    sim.run()
+    assert fired == ["first", "second", "soon"]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_cancellation_skips_event():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(10, lambda: fired.append("no"))
+    sim.at(20, lambda: fired.append("yes"))
+    handle.cancel()
+    sim.run()
+    assert fired == ["yes"]
+    assert handle.cancelled and not handle.fired
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.at(1, lambda: None)
+    sim.run()
+    assert handle.fired
+    handle.cancel()  # should not raise
+    assert handle.fired
+
+
+def test_handle_pending_lifecycle():
+    sim = Simulator()
+    handle = sim.at(5, lambda: None)
+    assert handle.pending
+    sim.run()
+    assert not handle.pending and handle.fired
+
+
+def test_run_until_advances_clock_even_when_queue_drains():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    assert sim.run(until=1000) == 1000
+    assert sim.now == 1000
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulator()
+    fired = []
+    sim.at(10, lambda: fired.append(1))
+    sim.at(100, lambda: fired.append(2))
+    sim.run(until=50)
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_boundary_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.at(50, lambda: fired.append(1))
+    sim.run(until=50)
+    assert fired == [1]
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.at(i, lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_processed_counts():
+    sim = Simulator()
+    for i in range(5):
+        sim.at(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    handles = [sim.at(i, lambda: None) for i in range(4)]
+    handles[0].cancel()
+    handles[2].cancel()
+    assert sim.pending_count() == 2
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+    sim.at(1, reenter)
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.after(10, lambda: chain(n + 1))
+    sim.at(0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50

@@ -1,0 +1,72 @@
+"""Restartable timers built on the engine."""
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+def test_timer_fires_after_delay():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now), "t")
+    timer.start(100)
+    sim.run()
+    assert fired == [100]
+
+
+def test_timer_cancel_prevents_fire():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(1), "t")
+    timer.start(100)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.running
+
+
+def test_restart_replaces_previous_arming():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now), "t")
+    timer.start(100)
+    sim.at(50, lambda: timer.start(100))  # re-arm at t=50 -> fires at 150
+    sim.run()
+    assert fired == [150]
+
+
+def test_start_at_absolute():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now), "t")
+    timer.start_at(777)
+    assert timer.expires_at == 777
+    sim.run()
+    assert fired == [777]
+
+
+def test_running_and_expires_at():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None, "t")
+    assert not timer.running and timer.expires_at is None
+    timer.start(10)
+    assert timer.running and timer.expires_at == 10
+    sim.run()
+    assert not timer.running and timer.expires_at is None
+
+
+def test_cancel_idle_timer_is_noop():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None, "t")
+    timer.cancel()  # no raise
+    assert not timer.running
+
+
+def test_timer_reusable_after_fire():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now), "t")
+    timer.start(10)
+    sim.run()
+    timer.start(10)
+    sim.run()
+    assert fired == [10, 20]

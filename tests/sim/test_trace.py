@@ -1,0 +1,48 @@
+"""Structured tracing."""
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(10, 1, "x", a=1)
+    assert len(tracer) == 0
+
+
+def test_enabled_tracer_records_in_order():
+    tracer = Tracer(enabled=True)
+    tracer.emit(10, 1, "tx-start")
+    tracer.emit(20, 2, "rx-ok", sender=1)
+    assert tracer.kinds_sequence() == ["tx-start", "rx-ok"]
+    assert tracer.events[1].detail == {"sender": 1}
+
+
+def test_kind_filter():
+    tracer = Tracer(enabled=True, kinds={"keep"})
+    tracer.emit(1, 0, "keep")
+    tracer.emit(2, 0, "drop")
+    assert tracer.kinds_sequence() == ["keep"]
+
+
+def test_of_kind_and_for_node():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1, 0, "a")
+    tracer.emit(2, 1, "b")
+    tracer.emit(3, 0, "b")
+    assert [e.time for e in tracer.of_kind("b")] == [2, 3]
+    assert [e.time for e in tracer.for_node(0)] == [1, 3]
+
+
+def test_sink_called_per_event():
+    seen = []
+    tracer = Tracer(enabled=True)
+    tracer.sink = seen.append
+    tracer.emit(5, 3, "x")
+    assert len(seen) == 1 and isinstance(seen[0], TraceEvent)
+
+
+def test_render_contains_fields():
+    tracer = Tracer(enabled=True)
+    tracer.emit(17_000, 4, "rbt-on", index=2)
+    text = tracer.render()
+    assert "node   4" in text and "rbt-on" in text and "index=2" in text

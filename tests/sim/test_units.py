@@ -1,0 +1,42 @@
+"""Unit conversions and formatting of the integer-ns clock."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_base_constants():
+    assert units.NS == 1
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.SEC == 1_000_000_000
+
+
+def test_us_exact():
+    assert units.us(20) == 20_000
+    assert units.us(0.5) == 500
+    assert units.us(0) == 0
+
+
+def test_us_rejects_subnanosecond():
+    with pytest.raises(ValueError):
+        units.us(0.0001234)
+
+
+def test_ms_and_seconds():
+    assert units.ms(1.5) == 1_500_000
+    assert units.seconds(2) == 2 * units.SEC
+
+
+def test_roundtrips():
+    assert units.ns_to_s(units.s_to_ns(1.25)) == pytest.approx(1.25)
+    assert units.ns_to_us(17_000) == pytest.approx(17.0)
+
+
+def test_format_time_units():
+    assert units.format_time(0) == "0"
+    assert units.format_time(999) == "999ns"
+    assert units.format_time(17_000) == "17.000us"
+    assert units.format_time(2_500_000) == "2.500ms"
+    assert units.format_time(3 * units.SEC) == "3s"
+    assert units.format_time(units.SEC + 1) == "1.000000s"

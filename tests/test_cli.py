@@ -1,0 +1,76 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_protocols_lists_registry(capsys):
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out.split()
+    for name in ("rmac", "bmmm", "bmw", "lbp", "mx", "dot11"):
+        assert name in out
+
+
+def test_run_prints_summary(capsys):
+    code = main(["run", "--nodes", "12", "--width", "200", "--height", "140",
+                 "--packets", "10", "--rate", "5", "--seed", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "delivery ratio" in out
+    assert "rmac" in out
+
+
+def test_run_mobile_flag(capsys):
+    code = main(["run", "--nodes", "10", "--width", "180", "--height", "130",
+                 "--packets", "5", "--speed", "8", "--pause", "2",
+                 "--seed", "3"])
+    assert code == 0
+
+
+def test_fig4_prints_trace(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "MRTS" in out and "rbt-on" in out and "abt-on" in out
+
+
+def test_topology_reports_means(capsys):
+    assert main(["topology", "--nodes", "40", "--placements", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "avg_hops" in out and "paper 3.87" in out
+
+
+def test_figure_small_scale(capsys, tmp_path, monkeypatch):
+    import repro.cli as cli
+
+    monkeypatch.setitem(cli.FIGURE_SCALES, "small", (12, 8, (10,), (1,)))
+    csv_path = tmp_path / "fig12.csv"
+    code = main(["figure", "fig12", "--scale", "small", "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Length of MRTS" in out
+    assert csv_path.exists()
+    header = csv_path.read_text().splitlines()[0]
+    assert "scenario" in header
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_campaign_command(capsys, tmp_path, monkeypatch):
+    import repro.cli as cli
+
+    monkeypatch.setitem(cli.FIGURE_SCALES, "small", (10, 4, (10,), (1,)))
+    store = tmp_path / "campaign.json"
+    code = main(["campaign", str(store), "--scale", "small",
+                 "--protocols", "rmac"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "campaign store" in out
+    assert store.exists()
+    # Resuming prints the same figures without re-simulating everything.
+    code = main(["campaign", str(store), "--scale", "small",
+                 "--protocols", "rmac"])
+    assert code == 0

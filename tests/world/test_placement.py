@@ -1,0 +1,53 @@
+"""Random placement and connectivity."""
+
+import random
+
+import pytest
+
+from repro.world.placement import connected_components, random_placement
+
+
+def test_components_of_chain():
+    coords = [(0, 0), (60, 0), (120, 0), (400, 0)]
+    comps = connected_components(coords, radio_range=75.0)
+    assert comps == [[0, 1, 2], [3]]
+
+
+def test_single_component_when_dense():
+    rng = random.Random(3)
+    coords = random_placement(30, 300, 200, rng, radio_range=75.0)
+    assert len(connected_components(coords, 75.0)) == 1
+
+
+def test_placement_in_bounds_and_count():
+    rng = random.Random(5)
+    coords = random_placement(75, 500, 300, rng, require_connected=True)
+    assert len(coords) == 75
+    assert all(0 <= x <= 500 and 0 <= y <= 300 for x, y in coords)
+
+
+def test_unconnectable_density_raises():
+    rng = random.Random(1)
+    with pytest.raises(RuntimeError):
+        random_placement(3, 10_000, 10_000, rng, radio_range=10.0, max_tries=5)
+
+
+def test_no_connectivity_requirement_always_succeeds():
+    rng = random.Random(1)
+    coords = random_placement(3, 10_000, 10_000, rng, radio_range=10.0,
+                              require_connected=False)
+    assert len(coords) == 3
+
+
+def test_validation():
+    rng = random.Random(1)
+    with pytest.raises(ValueError):
+        random_placement(0, 100, 100, rng)
+    with pytest.raises(ValueError):
+        random_placement(5, 0, 100, rng)
+
+
+def test_deterministic_given_rng():
+    a = random_placement(20, 300, 200, random.Random(9))
+    b = random_placement(20, 300, 200, random.Random(9))
+    assert a == b
