@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.figures import FIGURES, figure_rows
 from repro.experiments.report import format_table, rows_to_csv
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import run_sweep, sweep_failures
 from repro.experiments.scenarios import PAPER_RATES, SCENARIOS, paper_scenario, scaled_scenario
 from repro.world.network import PROTOCOLS, ScenarioConfig, build_network
 
@@ -34,9 +34,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rate_pps=args.rate,
         n_packets=args.packets,
         seed=args.seed,
+        collect_telemetry=bool(args.telemetry),
+        trace=bool(args.trace_jsonl),
     )
-    network = build_network(config)
+    tracer = None
+    if args.trace_jsonl:
+        from repro.sim.trace import JsonlTraceSink, Tracer
+
+        tracer = Tracer(enabled=True, buffer=JsonlTraceSink(args.trace_jsonl))
+    # Open the telemetry output up front so a bad path fails before the
+    # run, not after minutes of simulation.
+    telemetry_fh = open(args.telemetry, "w") if args.telemetry else None
+    network = build_network(config, tracer=tracer)
     summary = network.run()
+    if telemetry_fh is not None:
+        import json
+
+        with telemetry_fh:
+            json.dump(summary.telemetry, telemetry_fh, indent=2)
+        print(f"telemetry: {summary.events_processed} events at "
+              f"{summary.events_per_sec:,.0f} events/s -> {args.telemetry}")
+    if args.trace_jsonl:
+        print(f"trace: {len(network.testbed.tracer)} events -> {args.trace_jsonl}")
     rows = [{"metric": k, "value": v} for k, v in [
         ("delivery ratio", summary.delivery_ratio),
         ("avg delay (s)", summary.avg_delay_s),
@@ -49,6 +68,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{args.protocol}: {args.nodes} nodes, "
                                    f"{args.rate} pkt/s, seed {args.seed}"))
     return 0
+
+
+def _sweep_options(args: argparse.Namespace) -> dict:
+    """run_sweep kwargs from the shared sweep CLI flags."""
+    progress = None
+    if args.progress:
+        def progress(done, total, key, error):
+            status = f"FAILED ({error})" if error else "ok"
+            print(f"[{done}/{total}] {key} {status}", flush=True)
+    return dict(workers=args.workers, retries=args.retries, progress=progress)
+
+
+def _report_failures(results, fail_on_error: bool) -> int:
+    """Print captured sweep failures; exit code 1 only if asked to."""
+    failures = sweep_failures(results)
+    for failure in failures:
+        print(f"sweep failure: {failure}", file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} point(s) failed; aggregates use surviving "
+              f"seeds only", file=sys.stderr)
+    return 1 if (failures and fail_on_error) else 0
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-run a crashed point up to N extra times")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per finished (point, seed) run")
+    parser.add_argument("--fail-on-error", action="store_true",
+                        help="exit nonzero if any point failed "
+                             "(default: report and keep partial results)")
 
 
 #: (n_nodes, n_packets, rates, seeds) per --scale choice.
@@ -70,14 +121,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                                n_packets=n_packets, n_nodes=n_nodes)
 
     results = run_sweep(list(spec.protocols), list(SCENARIOS), list(rates),
-                        list(seeds), make_config, workers=args.workers)
+                        list(seeds), make_config, **_sweep_options(args))
     rows = figure_rows(spec, results)
     print(format_table(rows, title=spec.title))
     if args.csv:
         with open(args.csv, "w") as fh:
             fh.write(rows_to_csv(rows))
         print(f"wrote {args.csv}")
-    return 0
+    return _report_failures(results, args.fail_on_error)
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -137,10 +188,11 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                                n_packets=n_packets, n_nodes=n_nodes)
 
     results = run_sweep(["rmac", "bmmm"], list(SCENARIOS), list(rates),
-                        list(seeds), make_config, workers=args.workers)
+                        list(seeds), make_config, **_sweep_options(args))
     rows = validate(results)
     print(format_table(rows, title="Paper-claim validation"))
-    return 0 if all_pass(rows) else 1
+    failure_code = _report_failures(results, args.fail_on_error)
+    return failure_code or (0 if all_pass(rows) else 1)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -183,13 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="max waypoint speed m/s (0 = stationary)")
     run.add_argument("--pause", type=float, default=10.0)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--telemetry", metavar="OUT.json",
+                     help="collect event-loop telemetry (events/sec, "
+                          "per-label counts) and write it as JSON")
+    run.add_argument("--trace-jsonl", metavar="OUT.jsonl",
+                     help="stream the full protocol trace to a JSONL file "
+                          "(bounded memory, any run length)")
     run.set_defaults(func=_cmd_run)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(FIGURES))
     fig.add_argument("--scale", choices=("small", "medium", "paper"),
                      default="small")
-    fig.add_argument("--workers", type=int, default=0)
+    _add_sweep_flags(fig)
     fig.add_argument("--csv")
     fig.set_defaults(func=_cmd_figure)
 
@@ -221,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--scale", choices=sorted(FIGURE_SCALES),
                           default="small")
-    validate.add_argument("--workers", type=int, default=0)
+    _add_sweep_flags(validate)
     validate.set_defaults(func=_cmd_validate)
     return parser
 

@@ -190,7 +190,7 @@ class RmacProtocol(MacProtocol):
             return
         self._idle_wait_pending = True
         if self.radio.data_busy():
-            self.radio._data.notify_idle(self.node_id, self._on_channel_cleared)
+            self.radio.notify_data_idle(self._on_channel_cleared)
         else:
             self.radio.tone_channel(ToneType.RBT).notify_clear(
                 self.node_id, self._on_channel_cleared

@@ -7,7 +7,13 @@ from repro.experiments.scenarios import (
     scaled_scenario,
 )
 from repro.experiments.campaign import Campaign
-from repro.experiments.runner import SweepResult, run_point, run_sweep
+from repro.experiments.runner import (
+    PointFailure,
+    SweepResult,
+    run_point,
+    run_sweep,
+    sweep_failures,
+)
 from repro.experiments.figures import FIGURES, FigureSpec, figure_rows
 from repro.experiments.report import format_table, rows_to_csv
 
@@ -17,9 +23,11 @@ __all__ = [
     "SCENARIOS",
     "paper_scenario",
     "scaled_scenario",
+    "PointFailure",
     "SweepResult",
     "run_point",
     "run_sweep",
+    "sweep_failures",
     "FIGURES",
     "FigureSpec",
     "figure_rows",

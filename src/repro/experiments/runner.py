@@ -1,4 +1,4 @@
-"""Sweep runner: executes scenario points, optionally in parallel.
+"""Sweep runner: executes scenario points, in parallel and fault-tolerantly.
 
 A *point* is (protocol, scenario, rate); each point runs over several
 seeds (the paper: ten random placements, identical across protocols so
@@ -8,13 +8,21 @@ Multiprocessing: each run is an independent process-safe function of its
 config, so ``run_sweep(..., workers=N)`` fans points x seeds over a
 process pool. Per the hpc guidance, runs are CPU-bound pure Python, so
 processes (not threads) are the right lever.
+
+Fault tolerance: paper-scale campaigns are hundreds of runs; one
+crashing seed must not void the other 479. Every job is submitted as its
+own future, a failure is captured as a :class:`PointFailure` naming the
+exact (protocol, scenario, rate, seed) that died (with its traceback),
+optionally retried, and the surviving seeds are still aggregated. Pass
+``strict=True`` to get the old fail-fast behavior instead.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import traceback as _traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.summary import RunSummary
 from repro.world.network import ScenarioConfig, build_network
@@ -41,6 +49,27 @@ _P99_FIELDS = ("mrts_len_p99", "abort_p99")
 
 
 @dataclass(frozen=True)
+class PointFailure:
+    """One (protocol, scenario, rate, seed) run that raised."""
+
+    protocol: str
+    scenario: str
+    rate_pps: float
+    seed: int
+    error: str
+    traceback: str
+    #: How many times the job was attempted (1 + retries used).
+    attempts: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.protocol}|{self.scenario}|{self.rate_pps}|{self.seed}"
+
+    def __str__(self) -> str:
+        return f"{self.key}: {self.error} (after {self.attempts} attempt(s))"
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Seed-averaged metrics for one (protocol, scenario, rate) point."""
 
@@ -50,13 +79,19 @@ class SweepResult:
     n_seeds: int
     values: Dict[str, Optional[float]]
     per_seed: Tuple[RunSummary, ...]
+    #: Seeds of this point whose runs raised (empty on a clean sweep).
+    failures: Tuple[PointFailure, ...] = ()
 
     def __getitem__(self, key: str) -> Optional[float]:
         return self.values[key]
 
 
 def aggregate(
-    protocol: str, scenario: str, rate_pps: float, summaries: Sequence[RunSummary]
+    protocol: str,
+    scenario: str,
+    rate_pps: float,
+    summaries: Sequence[RunSummary],
+    failures: Sequence[PointFailure] = (),
 ) -> SweepResult:
     """Average per-seed summaries into one sweep point."""
     values: Dict[str, Optional[float]] = {}
@@ -73,7 +108,99 @@ def aggregate(
         n_seeds=len(summaries),
         values=values,
         per_seed=tuple(summaries),
+        failures=tuple(failures),
     )
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One unit of sweep work: a single (point, seed) run."""
+
+    protocol: str
+    scenario: str
+    rate_pps: float
+    seed: int
+    config: ScenarioConfig
+
+    @property
+    def key(self) -> str:
+        return f"{self.protocol}|{self.scenario}|{self.rate_pps}|{self.seed}"
+
+
+#: Progress callback: (done, total, job_key, error_or_None).
+ProgressFn = Callable[[int, int, str, Optional[str]], None]
+
+
+def _failure(job: _Job, exc: BaseException, attempts: int) -> PointFailure:
+    return PointFailure(
+        protocol=job.protocol,
+        scenario=job.scenario,
+        rate_pps=job.rate_pps,
+        seed=job.seed,
+        error=f"{type(exc).__name__}: {exc}",
+        traceback="".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        attempts=attempts,
+    )
+
+
+def _run_serial(
+    jobs: Sequence[_Job],
+    retries: int,
+    strict: bool,
+    progress: Optional[ProgressFn],
+) -> Dict[str, object]:
+    outcomes: Dict[str, object] = {}
+    for done, job in enumerate(jobs, start=1):
+        for attempt in range(1, retries + 2):
+            try:
+                outcomes[job.key] = run_point(job.config)
+                break
+            except Exception as exc:
+                if strict:
+                    raise
+                outcomes[job.key] = _failure(job, exc, attempt)
+        result = outcomes[job.key]
+        if progress is not None:
+            error = result.error if isinstance(result, PointFailure) else None
+            progress(done, len(jobs), job.key, error)
+    return outcomes
+
+
+def _run_parallel(
+    jobs: Sequence[_Job],
+    workers: int,
+    retries: int,
+    strict: bool,
+    progress: Optional[ProgressFn],
+) -> Dict[str, object]:
+    outcomes: Dict[str, object] = {}
+    done = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending: Dict[Future, Tuple[_Job, int]] = {
+            pool.submit(run_point, job.config): (job, 1) for job in jobs
+        }
+        while pending:
+            finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                job, attempt = pending.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    outcomes[job.key] = future.result()
+                elif strict:
+                    raise exc
+                elif attempt <= retries:
+                    pending[pool.submit(run_point, job.config)] = (job, attempt + 1)
+                    continue
+                else:
+                    outcomes[job.key] = _failure(job, exc, attempt)
+                done += 1
+                if progress is not None:
+                    result = outcomes[job.key]
+                    error = result.error if isinstance(result, PointFailure) else None
+                    progress(done, len(jobs), job.key, error)
+    return outcomes
 
 
 def run_sweep(
@@ -83,33 +210,62 @@ def run_sweep(
     seeds: Sequence[int],
     make_config,
     workers: int = 0,
+    *,
+    retries: int = 0,
+    strict: bool = False,
+    progress: Optional[ProgressFn] = None,
 ) -> List[SweepResult]:
     """Run the full matrix and aggregate per point.
 
     ``make_config(protocol, scenario, rate, seed) -> ScenarioConfig`` lets
     callers choose paper-scale or bench-scale runs. ``workers > 1`` uses a
-    process pool.
+    process pool with one future per job, so one crashing run never aborts
+    the rest of the matrix.
+
+    Parameters
+    ----------
+    retries:
+        Re-run a failed job up to this many extra times before recording
+        it as a :class:`PointFailure`.
+    strict:
+        Re-raise the first failure instead of capturing it (the pre-
+        fault-tolerance behavior).
+    progress:
+        Called after every finished job as ``progress(done, total,
+        job_key, error_or_None)`` -- e.g. for live console reporting.
     """
-    jobs: List[Tuple[str, str, float, ScenarioConfig]] = []
+    jobs: List[_Job] = []
     for protocol in protocols:
         for scenario in scenarios:
             for rate in rates:
                 for seed in seeds:
                     jobs.append(
-                        (protocol, scenario, rate, make_config(protocol, scenario, rate, seed))
+                        _Job(protocol, scenario, rate, seed,
+                             make_config(protocol, scenario, rate, seed))
                     )
     if workers and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            summaries = list(pool.map(run_point, [j[3] for j in jobs]))
+        outcomes = _run_parallel(jobs, workers, retries, strict, progress)
     else:
-        summaries = [run_point(j[3]) for j in jobs]
+        outcomes = _run_serial(jobs, retries, strict, progress)
 
     results: List[SweepResult] = []
     index = 0
     for protocol in protocols:
         for scenario in scenarios:
             for rate in rates:
-                chunk = summaries[index : index + len(seeds)]
+                chunk = [outcomes[j.key] for j in jobs[index : index + len(seeds)]]
                 index += len(seeds)
-                results.append(aggregate(protocol, scenario, rate, chunk))
+                summaries = [o for o in chunk if isinstance(o, RunSummary)]
+                failures = [o for o in chunk if isinstance(o, PointFailure)]
+                results.append(
+                    aggregate(protocol, scenario, rate, summaries, failures)
+                )
     return results
+
+
+def sweep_failures(results: Sequence[SweepResult]) -> List[PointFailure]:
+    """Every captured failure across a sweep's results, in matrix order."""
+    collected: List[PointFailure] = []
+    for result in results:
+        collected.extend(result.failures)
+    return collected

@@ -171,7 +171,7 @@ class Dot11Base(MacProtocol):
         if self.radio.data_busy():
             if not self._idle_wait_pending:
                 self._idle_wait_pending = True
-                self.radio._data.notify_idle(self.node_id, self._on_medium_cleared)
+                self.radio.notify_data_idle(self._on_medium_cleared)
         else:
             # Virtual carrier only: the NAV expiry time is known exactly.
             self._ensure_pump(max(phy.slot_time, self.nav_until - self.sim.now))

@@ -61,14 +61,28 @@ class RunSummary:
     n_forwarders: int
     total_drops: int
     total_retransmissions: int
+    # --- run telemetry (None unless the run collected it) -------------
+    #: Simulator events executed during the run.
+    events_processed: Optional[int] = None
+    #: Wall-clock seconds the event loop ran.
+    wall_time_s: Optional[float] = None
+    #: Event-loop throughput (events per wall second).
+    events_per_sec: Optional[float] = None
+    #: Full telemetry report (see repro.sim.telemetry), JSON-serializable.
+    telemetry: Optional[dict] = None
 
 
 def summarize(
     protocol: str,
     metrics: MetricsCollector,
     stats: Sequence[MacStats],
+    telemetry=None,
 ) -> RunSummary:
-    """Aggregate one run's collector + per-node MAC stats."""
+    """Aggregate one run's collector + per-node MAC stats.
+
+    ``telemetry`` is an optional :class:`~repro.sim.telemetry.TelemetryReport`
+    surfacing the run's event-loop throughput alongside its metrics.
+    """
     forwarders = [s for s in stats if s.packets_offered > 0]
 
     drop_ratios = [r for r in (s.drop_ratio() for s in forwarders) if r is not None]
@@ -104,4 +118,8 @@ def summarize(
         n_forwarders=len(forwarders),
         total_drops=sum(s.packets_dropped for s in stats),
         total_retransmissions=sum(s.retransmissions for s in stats),
+        events_processed=telemetry.events if telemetry is not None else None,
+        wall_time_s=telemetry.wall_s if telemetry is not None else None,
+        events_per_sec=telemetry.events_per_sec if telemetry is not None else None,
+        telemetry=telemetry.to_dict() if telemetry is not None else None,
     )

@@ -23,6 +23,7 @@ Semantics, following Section 3 of the paper:
 from __future__ import annotations
 
 import enum
+from itertools import chain
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.phy.neighbors import NeighborService
@@ -131,7 +132,9 @@ class BusyToneChannel:
         if t1 > self._sim.now:
             raise ValueError("cannot query presence in the future")
         intervals: List[Tuple[int, int]] = []
-        for emission in list(self._active.values()) + self._recent:
+        # chain() avoids materializing a concatenated list per query; this
+        # runs once per receiver per DATA frame (the ABT-window hot path).
+        for emission in chain(self._active.values(), self._recent):
             delay = emission.link_delays.get(node)
             if delay is None:
                 continue
@@ -204,6 +207,11 @@ class BusyToneChannel:
             return
         # Valid only if the emission lasted the full detection time.
         if emission.end is not None and emission.end < emission.start + self.detect_time:
+            # The watcher stays armed: drop handles that already fired or
+            # were cancelled (including this one), so a long-armed watcher
+            # holds only genuinely pending cancel targets.
+            handles = entry[1]
+            handles[:] = [h for h in handles if h.pending]
             return
         callback, _handles = entry
         self.unwatch_detection(node)

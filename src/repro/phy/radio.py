@@ -84,6 +84,11 @@ class Radio:
         """How long the data channel has been continuously idle (0 if busy)."""
         return self._data.idle_duration(self.node_id)
 
+    def notify_data_idle(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot callback for the next busy->idle transition
+        on the data channel. Fires immediately (synchronously) if idle."""
+        self._data.notify_idle(self.node_id, callback)
+
     # ------------------------------------------------------------------
     # Busy tones
     # ------------------------------------------------------------------

@@ -8,20 +8,36 @@ small, reproducible discrete-event core:
 * :mod:`repro.sim.timers` -- restartable timers built on the engine.
 * :mod:`repro.sim.rng`    -- named, independently seeded random streams.
 * :mod:`repro.sim.trace`  -- structured event traces (used by tests and
-  the Fig. 4 timeline example).
+  the Fig. 4 timeline example), with list/ring/JSONL storage backends.
+* :mod:`repro.sim.telemetry` -- event-loop throughput and profiling
+  samples (events/sec, heap depth, per-label counts, subsystem wall time).
 """
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.telemetry import Telemetry, TelemetryReport
 from repro.sim.timers import Timer
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import (
+    JsonlTraceSink,
+    ListBuffer,
+    RingBuffer,
+    TraceBuffer,
+    TraceEvent,
+    Tracer,
+)
 from repro.sim.units import MS, NS, SEC, US, format_time, ns_to_s, s_to_ns, us
 
 __all__ = [
     "EventHandle",
     "Simulator",
     "RngRegistry",
+    "Telemetry",
+    "TelemetryReport",
     "Timer",
+    "TraceBuffer",
+    "ListBuffer",
+    "RingBuffer",
+    "JsonlTraceSink",
     "TraceEvent",
     "Tracer",
     "NS",

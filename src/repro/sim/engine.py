@@ -14,6 +14,7 @@ one ``Simulator`` instance.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 
@@ -44,7 +45,14 @@ class EventHandle:
         self._fired = False
 
     def cancel(self) -> None:
-        """Cancel the event. Cancelling a fired or cancelled event is a no-op."""
+        """Cancel the event. Cancelling a fired or cancelled event is a no-op.
+
+        In particular, cancelling *after* the event fired leaves the handle
+        reporting ``fired`` (not ``cancelled``), so instrumentation and
+        ``repr`` reflect what actually happened.
+        """
+        if self._fired:
+            return
         self._cancelled = True
         self.callback = None
 
@@ -84,6 +92,9 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._events_processed = 0
+        #: Optional telemetry collector (see repro.sim.telemetry). ``None``
+        #: keeps the hot loop on a single-branch fast path.
+        self._telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -97,6 +108,19 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events executed so far (for instrumentation)."""
         return self._events_processed
+
+    @property
+    def queue_depth(self) -> int:
+        """Current heap length, counting lazily-cancelled entries (O(1))."""
+        return len(self._queue)
+
+    def set_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Arm (or with ``None`` disarm) a telemetry collector.
+
+        While armed, every executed event is timed and reported via
+        ``telemetry.record(label, duration_s, heap_depth)``.
+        """
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -137,7 +161,13 @@ class Simulator:
             handle.callback = None
             self._events_processed += 1
             assert callback is not None
-            callback()
+            telemetry = self._telemetry
+            if telemetry is None:
+                callback()
+            else:
+                start = perf_counter()
+                callback()
+                telemetry.record(handle.label, perf_counter() - start, len(self._queue))
             return True
         return False
 

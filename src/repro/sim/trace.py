@@ -1,17 +1,30 @@
-"""Structured event tracing.
+"""Structured event tracing with pluggable, bounded-memory storage.
 
 The tracer records (time, node, kind, detail) tuples. Integration tests
 assert on traces (e.g. that a Reliable Send produces exactly the
 MRTS -> RBT -> DATA -> ABT sequence of the paper's Fig. 4), and
 ``examples/timeline_fig4.py`` pretty-prints one.
 
+Storage is a pluggable :class:`TraceBuffer`:
+
+* :class:`ListBuffer` (default) -- keeps everything, the historical
+  behavior. Fine for tests and short runs; unbounded on long ones.
+* :class:`RingBuffer` -- keeps only the most recent ``capacity`` events
+  (and counts what it dropped). Memory is bounded regardless of run
+  length, so a 60 s paper-scale run can stay traced for post-mortems.
+* :class:`JsonlTraceSink` -- streams every event to a JSONL file and
+  keeps nothing in memory. The file is the trace; ``len()`` still
+  reports how many events were written.
+
 Tracing is off by default and costs one predicate call per emit when off.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional
+from typing import Callable, IO, Iterable, Iterator, List, Optional, Union
 
 from repro.sim.units import format_time
 
@@ -30,16 +43,139 @@ class TraceEvent:
         extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
         return f"[{format_time(self.time):>12}] node {self.node:>3} {self.kind:<18} {extras}".rstrip()
 
+    def to_json(self) -> str:
+        """One-line JSON rendering (the JSONL record format)."""
+        payload = {"time": self.time, "node": self.node, "kind": self.kind}
+        if self.detail:
+            payload["detail"] = self.detail
+        return json.dumps(payload, default=str)
+
+
+class TraceBuffer:
+    """Storage strategy for accepted trace events. Subclass and override."""
+
+    def append(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> List[TraceEvent]:
+        """The retained events, oldest first (may be a subset or empty)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Total events *accepted* (retained or not)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (flush files). Idempotent."""
+
+
+class ListBuffer(TraceBuffer):
+    """Keep every event in a plain list (unbounded; the default)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def snapshot(self) -> List[TraceEvent]:
+        return self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class RingBuffer(TraceBuffer):
+    """Keep only the most recent ``capacity`` events (bounded memory)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._accepted = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events accepted but since evicted by newer ones."""
+        return self._accepted - len(self._ring)
+
+    def append(self, event: TraceEvent) -> None:
+        self._ring.append(event)
+        self._accepted += 1
+
+    def snapshot(self) -> List[TraceEvent]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return self._accepted
+
+
+class JsonlTraceSink(TraceBuffer):
+    """Stream events to a JSONL file; retain nothing in memory.
+
+    Accepts a path (opened and owned, closed by :meth:`close`) or an
+    already-open text file object (borrowed; left open).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._written = 0
+        self._closed = False
+
+    def append(self, event: TraceEvent) -> None:
+        self._fh.write(event.to_json())
+        self._fh.write("\n")
+        self._written += 1
+
+    def snapshot(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return self._written
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
 
 class Tracer:
-    """Collects :class:`TraceEvent` records, with optional kind filtering."""
+    """Collects :class:`TraceEvent` records, with optional kind filtering.
 
-    def __init__(self, enabled: bool = False, kinds: Optional[Iterable[str]] = None):
+    ``buffer`` selects the storage backend (default: unbounded
+    :class:`ListBuffer`). The query helpers (:attr:`events`,
+    :meth:`of_kind`, ...) operate on whatever the backend retained.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        kinds: Optional[Iterable[str]] = None,
+        buffer: Optional[TraceBuffer] = None,
+    ):
         self.enabled = enabled
         self._kinds = set(kinds) if kinds is not None else None
-        self.events: List[TraceEvent] = []
+        self.buffer: TraceBuffer = buffer if buffer is not None else ListBuffer()
         #: Optional sink called on each accepted event (e.g. live printing).
         self.sink: Optional[Callable[[TraceEvent], None]] = None
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return self.buffer.snapshot()
 
     def emit(self, time: int, node: int, kind: str, **detail: object) -> None:
         """Record one event if tracing is enabled and the kind passes the filter."""
@@ -48,17 +184,17 @@ class Tracer:
         if self._kinds is not None and kind not in self._kinds:
             return
         event = TraceEvent(time, node, kind, dict(detail))
-        self.events.append(event)
+        self.buffer.append(event)
         if self.sink is not None:
             self.sink(event)
 
     def of_kind(self, *kinds: str) -> List[TraceEvent]:
-        """All recorded events whose kind is one of ``kinds``, in order."""
+        """All retained events whose kind is one of ``kinds``, in order."""
         wanted = set(kinds)
         return [e for e in self.events if e.kind in wanted]
 
     def for_node(self, node: int) -> List[TraceEvent]:
-        """All recorded events for ``node``, in order."""
+        """All retained events for ``node``, in order."""
         return [e for e in self.events if e.node == node]
 
     def kinds_sequence(self) -> List[str]:
@@ -69,10 +205,15 @@ class Tracer:
         return iter(self.events)
 
     def __len__(self) -> int:
-        return len(self.events)
+        """Total events accepted (JSONL/ring backends may retain fewer)."""
+        return len(self.buffer)
+
+    def close(self) -> None:
+        """Close the storage backend (flushes streaming sinks)."""
+        self.buffer.close()
 
     def render(self) -> str:
-        """Multi-line rendering of the whole trace."""
+        """Multi-line rendering of the retained trace."""
         return "\n".join(e.render() for e in self.events)
 
 

@@ -28,6 +28,8 @@ from repro.net.bless import BlessConfig
 from repro.net.multicast import MulticastConfig
 from repro.net.stack import NetworkLayer
 from repro.sim.rng import derive_seed
+from repro.sim.telemetry import Telemetry
+from repro.sim.trace import Tracer
 from repro.sim.units import SEC
 from repro.world.placement import random_placement
 from repro.world.testbed import MacTestbed
@@ -64,6 +66,9 @@ class ScenarioConfig:
     bless_expiry_s: float = 2.0
     require_connected: bool = True
     trace: bool = False
+    #: Attach event-loop telemetry (events/sec, per-label counts, heap
+    #: depth) to the run; surfaced in the RunSummary's telemetry fields.
+    collect_telemetry: bool = False
     #: Uniform bit-error rate on the data channel (0 = collision-only
     #: losses, the paper's setting). Section 3.4 notes the MRTS cap
     #: "can be further reduced in case of high error bit rate"; the BER
@@ -129,9 +134,14 @@ register_protocol("mx", _dot11_family(MxProtocol))
 
 
 class Network:
-    """A fully wired simulated network, ready to run."""
+    """A fully wired simulated network, ready to run.
 
-    def __init__(self, config: ScenarioConfig):
+    ``tracer`` overrides the testbed's default tracer -- the hook for
+    bounded-memory backends (``RingBuffer``, ``JsonlTraceSink``) on long
+    traced runs.
+    """
+
+    def __init__(self, config: ScenarioConfig, tracer: Optional[Tracer] = None):
         if config.protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {config.protocol!r}; "
@@ -181,8 +191,12 @@ class Network:
             seed=config.seed,
             trace=config.trace,
             error_model=error_model,
+            tracer=tracer,
         )
         tb = self.testbed
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry().attach(tb.sim) if config.collect_telemetry else None
+        )
         factory = PROTOCOLS[config.protocol]
         self.macs: List[MacProtocol] = tb.build_macs(
             lambda i, t: factory(i, t, t.node_rng(i), config.mac_overrides)
@@ -222,6 +236,7 @@ class Network:
         """Run warm-up + traffic + drain and summarize."""
         end = self._mc_config.traffic_end + round(self.config.drain_s * SEC)
         self.sim.run(until=end)
+        self.testbed.tracer.close()
         return self.summary()
 
     def summary(self) -> RunSummary:
@@ -229,9 +244,12 @@ class Network:
             self.config.protocol,
             self.metrics,
             [mac.stats for mac in self.macs],
+            telemetry=(
+                self.telemetry.report(self.sim) if self.telemetry is not None else None
+            ),
         )
 
 
-def build_network(config: ScenarioConfig) -> Network:
+def build_network(config: ScenarioConfig, tracer: Optional[Tracer] = None) -> Network:
     """Convenience constructor (the public API entry point)."""
-    return Network(config)
+    return Network(config, tracer=tracer)

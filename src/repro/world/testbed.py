@@ -39,6 +39,7 @@ class MacTestbed:
         error_model: Optional[BitErrorModel] = None,
         seed: int = 1,
         trace: bool = False,
+        tracer: Optional[Tracer] = None,
         cache_window: int = 50_000_000,
         capture_threshold_db: Optional[float] = None,
     ):
@@ -53,7 +54,9 @@ class MacTestbed:
         self.phy = phy
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
-        self.tracer = Tracer(enabled=trace)
+        #: ``tracer`` overrides the default (e.g. to use a RingBuffer or
+        #: JsonlTraceSink backend); otherwise one is built from ``trace``.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=trace)
         model = propagation or UnitDiskModel(phy.radio_range)
         self.neighbors = NeighborService(provider, model, cache_window=cache_window)
         self.data_channel = DataChannel(

@@ -195,3 +195,32 @@ class TestDetectionWatch:
         tone.turn_on(0)
         sim.run(until=100 * US)
         assert hits == []
+
+
+class TestWatcherHandleHygiene:
+    def test_fired_detection_handles_pruned_from_watcher(self):
+        # A long-armed watcher sees many short (sub-lambda) pulses, none
+        # of which detect; the fired check handles must not accumulate.
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        tone.watch_detection(1, lambda t: None)
+        for i in range(10):
+            start = i * 100 * US
+            sim.at(start, lambda: tone.turn_on(0))
+            sim.at(start + 5 * US, lambda: tone.turn_off(0))
+        sim.run()
+        assert 1 in tone._watchers  # never detected, still armed
+        handles = tone._watchers[1][1]
+        assert all(h.pending for h in handles)
+        assert len(handles) == 0
+
+    def test_detection_still_fires_after_many_short_pulses(self):
+        sim, tone = make_tone([(0, 0), (50, 0)])
+        hits = []
+        tone.watch_detection(1, lambda t: hits.append(sim.now))
+        for i in range(5):
+            start = i * 100 * US
+            sim.at(start, lambda: tone.turn_on(0))
+            sim.at(start + 5 * US, lambda: tone.turn_off(0))
+        sim.at(1000 * US, lambda: tone.turn_on(0))  # long emission: detects
+        sim.run(until=1100 * US)
+        assert len(hits) == 1

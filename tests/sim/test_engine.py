@@ -79,6 +79,15 @@ def test_cancel_after_fire_is_noop():
     assert handle.fired
 
 
+def test_cancel_after_fire_does_not_mark_cancelled():
+    sim = Simulator()
+    handle = sim.at(1, lambda: None, label="late-cancel")
+    sim.run()
+    handle.cancel()
+    assert handle.fired and not handle.cancelled and not handle.pending
+    assert "fired" in repr(handle)  # repr reports what actually happened
+
+
 def test_handle_pending_lifecycle():
     sim = Simulator()
     handle = sim.at(5, lambda: None)

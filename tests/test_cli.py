@@ -54,6 +54,58 @@ def test_figure_small_scale(capsys, tmp_path, monkeypatch):
     assert "scenario" in header
 
 
+def test_run_telemetry_flag_writes_json(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "telemetry.json"
+    code = main(["run", "--nodes", "10", "--width", "180", "--height", "130",
+                 "--packets", "5", "--rate", "5", "--seed", "2",
+                 "--telemetry", str(out)])
+    assert code == 0
+    assert "events/s" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["events"] > 0
+    assert payload["events_per_sec"] > 0
+    assert payload["label_counts"]
+
+
+def test_run_trace_jsonl_flag_streams_trace(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "trace.jsonl"
+    code = main(["run", "--nodes", "10", "--width", "180", "--height", "130",
+                 "--packets", "5", "--rate", "5", "--seed", "2",
+                 "--trace-jsonl", str(out)])
+    assert code == 0
+    lines = out.read_text().splitlines()
+    assert lines
+    record = json.loads(lines[0])
+    assert {"time", "node", "kind"} <= set(record)
+
+
+def test_figure_reports_failed_points_without_failing(capsys, monkeypatch,
+                                                      tmp_path):
+    import repro.cli as cli
+    import repro.experiments.scenarios as scenarios
+
+    monkeypatch.setitem(cli.FIGURE_SCALES, "small", (10, 4, (10,), (1, 2)))
+    real = scenarios.scaled_scenario
+
+    def sabotaged(protocol, scenario, rate, seed, **kw):
+        config = real(protocol, scenario, rate, seed, **kw)
+        return config.variant(protocol="boom") if seed == 2 else config
+
+    monkeypatch.setattr(cli, "scaled_scenario", sabotaged)
+    code = main(["figure", "fig12", "--scale", "small", "--progress"])
+    captured = capsys.readouterr()
+    assert code == 0  # partial results, exit zero unless asked
+    assert "sweep failure" in captured.err
+    assert "FAILED" in captured.out  # the --progress line
+
+    code = main(["figure", "fig12", "--scale", "small", "--fail-on-error"])
+    assert code == 1
+
+
 def test_parser_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "fig99"])

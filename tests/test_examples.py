@@ -44,6 +44,16 @@ def test_custom_protocol_example_registers_and_compares(capsys):
     assert "Ablating the Receiver Busy Tone" in out
 
 
+def test_telemetry_profile_example(capsys):
+    import telemetry_profile
+
+    telemetry_profile.main(n_nodes=10, n_packets=5)
+    out = capsys.readouterr().out
+    assert "event-loop profile" in out
+    assert "events/sec" in out
+    assert "ring kept" in out
+
+
 def test_figure_sweep_example_cli(capsys, tmp_path):
     import figure_sweep
 
