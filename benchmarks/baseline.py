@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate the committed performance baseline.
+
+Runs the full *and* smoke benchmark sweeps (see
+``repro.experiments.bench``) and writes ``benchmarks/BENCH_<rev>.json``
+next to this script. Run it from a clean checkout after a kernel or PHY
+change that is meant to shift performance, and commit the result::
+
+    PYTHONPATH=src python benchmarks/baseline.py
+
+CI and ``repro bench`` compare later runs against the newest committed
+``BENCH_*.json``, so the baseline should come from an otherwise idle
+machine (wall-clock noise becomes everyone's regression threshold).
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import bench  # noqa: E402
+
+
+def main() -> int:
+    rev = bench.git_rev(os.path.dirname(__file__))
+    report = bench.run_bench(
+        list(bench.FULL_POINTS) + list(bench.SMOKE_POINTS),
+        rev=rev,
+        progress=lambda rec: print(
+            f"  {rec['mode']} {rec['protocol']}/seed{rec['seed']}: "
+            f"{rec['events']} ev @ {rec['eps']:,.0f}/s", flush=True),
+    )
+    out = os.path.join(os.path.dirname(__file__), f"BENCH_{rev}.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(bench.render(report))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

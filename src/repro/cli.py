@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``      one scenario, printed summary (the quickstart as a command).
+``bench``    the fixed perf sweep, compared against the committed baseline.
 ``figure``   regenerate a paper figure (fig7..fig13) at a chosen scale.
 ``topology`` Fig. 6 tree statistics over random placements.
 ``fig4``     the Fig. 4 handshake trace.
@@ -12,6 +13,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -67,6 +69,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]]
     print(format_table(rows, title=f"{args.protocol}: {args.nodes} nodes, "
                                    f"{args.rate} pkt/s, seed {args.seed}"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import bench
+
+    points = bench.SMOKE_POINTS if args.smoke else bench.FULL_POINTS
+    report = bench.run_bench(
+        points,
+        progress=lambda rec: print(
+            f"  {rec['mode']} {rec['protocol']}/seed{rec['seed']}: "
+            f"{rec['events']} ev @ {rec['eps']:,.0f}/s", flush=True),
+    )
+    print(bench.render(report))
+    out = args.out or f"BENCH_{report['rev']}.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = bench.find_baseline("benchmarks")
+    elif os.path.isdir(baseline_path):
+        baseline_path = bench.find_baseline(baseline_path)
+    if baseline_path is None:
+        print("no committed baseline found; skipping comparison")
+        return 0
+    ok, lines = bench.compare(
+        report, bench.load_baseline(baseline_path),
+        max_regression=args.max_regression / 100.0,
+    )
+    print(f"baseline: {baseline_path}")
+    for line in lines:
+        print(f"  {line}")
+    if not ok:
+        print("benchmark regression exceeds threshold", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -242,6 +284,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream the full protocol trace to a JSONL file "
                           "(bounded memory, any run length)")
     run.set_defaults(func=_cmd_run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the fixed perf sweep and compare against the committed "
+             "baseline (see benchmarks/BENCH_*.json)",
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="one small run (~1s) instead of the full sweep; "
+                            "what CI executes on every push")
+    bench.add_argument("--out", metavar="OUT.json",
+                       help="report path (default BENCH_<rev>.json in cwd)")
+    bench.add_argument("--baseline", metavar="FILE_OR_DIR",
+                       help="baseline report, or a directory of BENCH_*.json "
+                            "(default: newest in benchmarks/)")
+    bench.add_argument("--max-regression", type=float, default=30.0,
+                       metavar="PCT",
+                       help="fail if a point's events/sec drops more than "
+                            "this percentage vs the baseline (default 30)")
+    bench.set_defaults(func=_cmd_bench)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(FIGURES))

@@ -94,6 +94,8 @@ class RmacProtocol(MacProtocol):
             tracer=tracer,
         )
         phy = self.config.phy
+        #: Slot duration (ns), cached off the config chain for the pump.
+        self._slot_time = phy.slot_time
         self.state = RmacState.IDLE
         self.backoff = Backoff(rng, phy.cw_min, phy.cw_max)
         self.multicast_groups: set[int] = set()
@@ -125,7 +127,12 @@ class RmacProtocol(MacProtocol):
         assert valid_transition(self.state, new), (
             f"node {self.node_id}: illegal transition {self.state.value} -> {new.value}"
         )
-        self.tracer.emit(self.sim.now, self.node_id, "state", frm=self.state.value, to=new.value)
+        if self.tracer.enabled:
+            # Guarded: enum ``.value`` is a Python-level descriptor call,
+            # and state changes are among the most frequent events in a run.
+            self.tracer.emit(
+                self.sim.now, self.node_id, "state", frm=self.state.value, to=new.value
+            )
         self.state = new
 
     def _channels_idle(self) -> bool:
@@ -175,7 +182,7 @@ class RmacProtocol(MacProtocol):
                     return
                 self._set_state(RmacState.IDLE)  # C9: nothing to send
                 return
-            self._ensure_pump(self.config.phy.slot_time)
+            self._ensure_pump(self._slot_time)
         else:
             self._set_state(RmacState.IDLE)  # C9: suspended, BI kept
             # Rather than polling every slot through a multi-millisecond
@@ -203,7 +210,7 @@ class RmacProtocol(MacProtocol):
         if self.state in (RmacState.IDLE, RmacState.BACKOFF) and (
             self.backoff.bi > 0 or self._has_work()
         ):
-            self._ensure_pump(self.config.phy.slot_time)
+            self._ensure_pump(self._slot_time)
 
     def _enter_contention(self, draw: bool) -> None:
         """Return to IDLE/BACKOFF, optionally invoking the backoff draw."""
@@ -214,7 +221,7 @@ class RmacProtocol(MacProtocol):
         else:
             self._set_state(RmacState.IDLE)
         if self.backoff.bi > 0 or self._has_work():
-            self._ensure_pump(self.config.phy.slot_time)
+            self._ensure_pump(self._slot_time)
 
     # ==================================================================
     # Transmission start (pump reached BI == 0 with work queued)

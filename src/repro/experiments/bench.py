@@ -1,0 +1,239 @@
+"""The ``repro bench`` performance benchmark.
+
+A fixed sweep of paper-scale scenarios measured for event-loop
+throughput, with the result committed to the repository as
+``benchmarks/BENCH_<rev>.json``. Each PR that touches the kernel or the
+PHY re-runs the sweep and compares against the committed baseline, so
+"make the hot path faster" (the ROADMAP's north star) is a measured
+claim instead of a hope, and accidental slowdowns fail CI.
+
+Two modes:
+
+* **full** -- three 40-node paper-scale runs (RMAC x2 seeds, BMMM x1),
+  a few hundred thousand events each. This is the number quoted in
+  ``BENCH_*.json`` and in PR descriptions.
+* **smoke** -- one 12-node run (~13k events) finishing in well under a
+  second; cheap enough for CI on every push. CI compares its
+  events/sec against the committed baseline with a generous regression
+  threshold (wall-clock on shared runners is noisy).
+
+The sweep is **static-only** (no mobility) on purpose: static scenarios
+exercise the frozen-link fast path and keep the per-run ``metrics``
+block bit-identical across machines and across mobility-model changes,
+so the baseline doubles as a determinism regression check -- same
+seeds must produce the same delivery/retransmission/delay numbers,
+or something changed protocol behavior rather than just speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.world.network import ScenarioConfig, build_network
+
+#: RunSummary fields captured per point; all deterministic given the seed.
+METRIC_FIELDS = (
+    "delivery_ratio",
+    "avg_delay_s",
+    "max_delay_s",
+    "avg_drop_ratio",
+    "avg_retx_ratio",
+    "avg_txoh_ratio",
+    "mrts_len_avg",
+    "mrts_len_max",
+    "abort_avg",
+    "n_generated",
+    "total_deliveries",
+    "total_drops",
+    "total_retransmissions",
+)
+
+
+def _point(mode: str, protocol: str, seed: int, repeat: int = 1, **config) -> dict:
+    return {"mode": mode, "protocol": protocol, "seed": seed,
+            "repeat": repeat, "config": config}
+
+
+_FULL_SCALE = dict(n_nodes=40, width=360.0, height=220.0, rate_pps=20.0, n_packets=120)
+
+#: The committed full sweep (static, paper-scale).
+FULL_POINTS: List[dict] = [
+    _point("full", "rmac", 1, **_FULL_SCALE),
+    _point("full", "rmac", 2, **_FULL_SCALE),
+    _point("full", "bmmm", 3, **_FULL_SCALE),
+]
+
+#: The CI smoke sweep: one small static run, best-of-3 -- a cold
+#: process's first run pays interpreter warm-up that would otherwise
+#: read as a 30%+ "regression" on an 80 ms benchmark.
+SMOKE_POINTS: List[dict] = [
+    _point("smoke", "rmac", 2, repeat=3, n_nodes=12, width=200.0,
+           height=140.0, rate_pps=5.0, n_packets=10),
+]
+
+
+def git_rev(cwd: Optional[str] = None) -> str:
+    """Short git revision of ``cwd`` (or the process cwd); ``unknown``
+    outside a repository or without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_point(point: dict) -> dict:
+    """Run one benchmark point and return its JSON-serializable record.
+
+    A point with ``repeat > 1`` runs that many times and keeps the
+    fastest repetition's timing (standard microbenchmark practice: the
+    minimum is the least-noisy estimator). Every repetition must produce
+    identical events and metrics -- a free determinism check; a mismatch
+    raises rather than silently averaging nondeterministic runs.
+    """
+    best = None
+    for _ in range(max(1, int(point.get("repeat", 1)))):
+        config = ScenarioConfig(
+            protocol=point["protocol"],
+            seed=point["seed"],
+            collect_telemetry=True,
+            **point["config"],
+        )
+        summary = build_network(config).run()
+        telemetry = summary.telemetry or {}
+        record = {
+            "mode": point["mode"],
+            "protocol": point["protocol"],
+            "seed": point["seed"],
+            "events": summary.events_processed,
+            "wall_s": summary.wall_time_s,
+            "eps": summary.events_per_sec,
+            "metrics": {name: getattr(summary, name) for name in METRIC_FIELDS},
+            "subsystem_wall_s": telemetry.get("subsystem_wall_s", {}),
+        }
+        if best is None:
+            best = record
+        else:
+            if (record["events"], record["metrics"]) != (best["events"], best["metrics"]):
+                raise RuntimeError(
+                    f"nondeterministic benchmark point {point['protocol']}/"
+                    f"seed{point['seed']}: repeated run diverged"
+                )
+            if (record["wall_s"] or 0.0) < (best["wall_s"] or 0.0):
+                best = record
+    return best
+
+
+def run_bench(points: Sequence[dict], rev: Optional[str] = None,
+              progress=None) -> dict:
+    """Run ``points`` and assemble the benchmark report.
+
+    ``progress``, when given, is called with each finished point record.
+    The report's top-level ``events_per_sec`` is the aggregate (total
+    events over total wall time), which weights long runs more -- the
+    honest number for "how fast is the kernel".
+    """
+    records = []
+    for point in points:
+        record = run_point(point)
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    total_events = sum(r["events"] or 0 for r in records)
+    total_wall = sum(r["wall_s"] or 0.0 for r in records)
+    return {
+        "rev": rev if rev is not None else git_rev(),
+        "events": total_events,
+        "wall_s": total_wall,
+        "events_per_sec": (total_events / total_wall) if total_wall > 0 else 0.0,
+        "points": records,
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline discovery and comparison
+# ----------------------------------------------------------------------
+def find_baseline(directory: str) -> Optional[str]:
+    """Path of the newest committed ``BENCH_<rev>.json`` in ``directory``
+    (by modification time; None if the directory has no baselines)."""
+    try:
+        names = [
+            name for name in os.listdir(directory)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        ]
+    except OSError:
+        return None
+    if not names:
+        return None
+    paths = [os.path.join(directory, name) for name in names]
+    return max(paths, key=os.path.getmtime)
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(report: dict, baseline: dict,
+            max_regression: float = 0.30) -> Tuple[bool, List[str]]:
+    """Compare ``report`` against a committed ``baseline``.
+
+    Returns ``(ok, lines)``. The run **fails** (ok=False) when a point
+    present in both sweeps lost more than ``max_regression`` of its
+    events/sec. Metric drift on matching points is *reported* but does
+    not fail the comparison here -- it means behavior changed, which a
+    benchmark threshold is the wrong tool to police (the tier-1 suite
+    owns correctness); it still deserves a loud line in the output.
+    """
+    by_key: Dict[tuple, dict] = {
+        (p["mode"], p["protocol"], p["seed"]): p for p in baseline.get("points", [])
+    }
+    ok = True
+    lines: List[str] = []
+    for point in report.get("points", []):
+        key = (point["mode"], point["protocol"], point["seed"])
+        base = by_key.get(key)
+        label = f"{key[0]} {key[1]}/seed{key[2]}"
+        if base is None:
+            lines.append(f"{label}: no baseline point (new)")
+            continue
+        old_eps, new_eps = base.get("eps") or 0.0, point.get("eps") or 0.0
+        if old_eps > 0:
+            ratio = new_eps / old_eps
+            line = (f"{label}: {new_eps:,.0f} ev/s vs baseline "
+                    f"{old_eps:,.0f} ({ratio:.2f}x)")
+            if ratio < 1.0 - max_regression:
+                ok = False
+                line += f"  REGRESSION (> {max_regression:.0%} slower)"
+            lines.append(line)
+        if base.get("metrics") != point.get("metrics"):
+            drifted = sorted(
+                name for name in METRIC_FIELDS
+                if base.get("metrics", {}).get(name) != point.get("metrics", {}).get(name)
+            )
+            lines.append(f"{label}: METRIC DRIFT in {', '.join(drifted)} -- "
+                         f"same seed no longer reproduces the baseline run")
+    return ok, lines
+
+
+def render(report: dict) -> str:
+    """A compact human-readable view of one report."""
+    lines = [f"rev {report['rev']}: {report['events']} events in "
+             f"{report['wall_s']:.2f}s = {report['events_per_sec']:,.0f} ev/s"]
+    for point in report["points"]:
+        top = sorted((point.get("subsystem_wall_s") or {}).items(),
+                     key=lambda kv: -kv[1])[:4]
+        subsystems = ", ".join(f"{name}={secs * 1e3:.0f}ms" for name, secs in top)
+        lines.append(
+            f"  {point['mode']} {point['protocol']}/seed{point['seed']}: "
+            f"{point['events']} ev @ {point['eps']:,.0f}/s"
+            + (f"  [{subsystems}]" if subsystems else "")
+        )
+    return "\n".join(lines)

@@ -27,7 +27,7 @@ from itertools import chain
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.phy.neighbors import NeighborService
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventHandle, FastEvent, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 
 
@@ -70,9 +70,16 @@ class BusyToneChannel:
         #: lambda: continuous presence needed for detection (ns).
         self.detect_time = int(detect_time)
         self._tracer = tracer
+        #: Trace kinds, precomputed off the per-emission hot path.
+        self._on_kind = f"{tone.value.lower()}-on"
+        self._off_kind = f"{tone.value.lower()}-off"
         self._active: Dict[int, _Emission] = {}
         self._recent: List[_Emission] = []
         self._present: Dict[int, int] = {}
+        #: Free lists of fired presence-delta events (reused across
+        #: emissions; the tone fan-out allocates nothing in steady state).
+        self._on_pool: List[_ToneOn] = []
+        self._off_pool: List[_ToneOff] = []
         #: One-shot callbacks fired when the tone clears at a node.
         self._clear_waiters: Dict[int, List[Callable[[], None]]] = {}
         #: node -> (callback, pending detection event handles)
@@ -89,10 +96,25 @@ class BusyToneChannel:
         links = self._neighbors.links_from(emitter, now)
         emission = _Emission(emitter, now, {l.node: l.delay_ns for l in links})
         self._active[emitter] = emission
+        # Presence deltas batch through schedule_many; detections (which
+        # need cancellable handles) stay on sim.at. Presence lands within
+        # one link delay (< 1 us) while detections trail by lambda = 15 us,
+        # so reordering the two groups cannot create a same-time tie.
+        pool = self._on_pool
+        entries = []
         for node, delay in emission.link_delays.items():
-            self._sim.at(now + delay, _PresenceDelta(self, node, +1), label="tone-on")
-            self._schedule_detection(emission, node, now + delay + self.detect_time)
-        self._tracer.emit(now, emitter, f"{self.tone.value.lower()}-on")
+            if pool:
+                event = pool.pop()
+                event.node = node
+            else:
+                event = _ToneOn(self, node)
+            entries.append((now + delay, event))
+        self._sim.schedule_many(entries)
+        detect_time = self.detect_time
+        for node, delay in emission.link_delays.items():
+            self._schedule_detection(emission, node, now + delay + detect_time)
+        if self._tracer.enabled:
+            self._tracer.emit(now, emitter, self._on_kind)
 
     def turn_off(self, emitter: int) -> None:
         """Stop emitting the tone from ``emitter``."""
@@ -101,11 +123,20 @@ class BusyToneChannel:
             raise RuntimeError(f"node {emitter} does not emit {self.tone.value}")
         now = self._sim.now
         emission.end = now
+        pool = self._off_pool
+        entries = []
         for node, delay in emission.link_delays.items():
-            self._sim.at(now + delay, _PresenceDelta(self, node, -1), label="tone-off")
+            if pool:
+                event = pool.pop()
+                event.node = node
+            else:
+                event = _ToneOff(self, node)
+            entries.append((now + delay, event))
+        self._sim.schedule_many(entries)
         self._recent.append(emission)
         self._prune(now)
-        self._tracer.emit(now, emitter, f"{self.tone.value.lower()}-off")
+        if self._tracer.enabled:
+            self._tracer.emit(now, emitter, self._off_kind)
 
     def pulse(self, emitter: int, duration: int) -> None:
         """Emit the tone for exactly ``duration`` ns (used for ABT)."""
@@ -243,16 +274,40 @@ class BusyToneChannel:
             self._recent = [e for e in self._recent if e.end is None or e.end >= cutoff]
 
 
-class _PresenceDelta:
-    __slots__ = ("channel", "node", "delta")
+class _ToneOn(FastEvent):
+    """Pooled presence(+1) event, scheduled via ``schedule_many``."""
 
-    def __init__(self, channel: BusyToneChannel, node: int, delta: int):
+    __slots__ = ("channel", "node")
+
+    label = "tone-on"
+
+    def __init__(self, channel: BusyToneChannel, node: int):
         self.channel = channel
         self.node = node
-        self.delta = delta
 
     def __call__(self) -> None:
-        self.channel._apply_presence(self.node, self.delta)
+        channel = self.channel
+        node = self.node
+        channel._on_pool.append(self)
+        channel._apply_presence(node, +1)
+
+
+class _ToneOff(FastEvent):
+    """Pooled presence(-1) event, scheduled via ``schedule_many``."""
+
+    __slots__ = ("channel", "node")
+
+    label = "tone-off"
+
+    def __init__(self, channel: BusyToneChannel, node: int):
+        self.channel = channel
+        self.node = node
+
+    def __call__(self) -> None:
+        channel = self.channel
+        node = self.node
+        channel._off_pool.append(self)
+        channel._apply_presence(node, -1)
 
 
 class _DetectionCheck:

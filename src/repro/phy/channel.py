@@ -19,12 +19,12 @@ run on the same instance.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.phy.error import BitErrorModel, NoErrors
 from repro.phy.neighbors import Link, NeighborService
 from repro.phy.params import PhyParams
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventHandle, FastEvent, SimulationError, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 
 
@@ -50,7 +50,7 @@ class Transmission:
 
     __slots__ = ("sender", "frame", "start", "airtime", "links", "aborted_at", "_end_event")
 
-    def __init__(self, sender: int, frame: object, start: int, airtime: int, links: list[Link]):
+    def __init__(self, sender: int, frame: object, start: int, airtime: int, links: Sequence[Link]):
         self.sender = sender
         self.frame = frame
         self.start = start
@@ -99,6 +99,9 @@ class DataChannel:
         self._neighbors = neighbors
         self._phy = phy
         self._error_model = error_model or NoErrors()
+        #: NoErrors never consults the RNG, so delivery can skip the call
+        #: entirely without perturbing anyone's random stream.
+        self._error_free = type(self._error_model) is NoErrors
         self._rng = rng or random.Random(0)
         self._tracer = tracer
         #: Capture effect (extension): when set, an overlapping frame
@@ -121,6 +124,10 @@ class DataChannel:
         #: One-shot callbacks fired when a node's medium goes idle (used by
         #: the MACs to avoid per-slot polling through long busy periods).
         self._idle_waiters: Dict[int, list] = {}
+        #: Free lists of fired arrival events, reused across transmissions
+        #: so the per-link fan-out allocates nothing in steady state.
+        self._start_pool: List[_ArrivalStart] = []
+        self._end_pool: List[_ArrivalEnd] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -141,8 +148,12 @@ class DataChannel:
     # Sensing
     # ------------------------------------------------------------------
     def busy(self, node: int) -> bool:
-        """Carrier sense at ``node``: any sensed transmission, or own tx."""
-        return self._busy.get(node, 0) > 0 or node in self._transmitting
+        """Carrier sense at ``node``: any sensed transmission, or own tx.
+
+        ``_busy`` only ever stores positive counts (zero deletes the key,
+        underflow raises), so membership is the whole test.
+        """
+        return node in self._busy or node in self._transmitting
 
     def is_transmitting(self, node: int) -> bool:
         return node in self._transmitting
@@ -188,12 +199,25 @@ class DataChannel:
         self._transmitting[sender] = tx
         # Transmitting while receiving destroys the ongoing receptions
         # (half-duplex radio).
-        for rec in self._receiving.get(sender, {}).values():
-            rec.corrupted = True
+        ongoing = self._receiving.get(sender)
+        if ongoing:
+            for rec in ongoing.values():
+                rec.corrupted = True
+        pool = self._start_pool
+        entries = []
         for link in links:
-            self._sim.at(now + link.delay_ns, _ArrivalStart(self, tx, link), label="rx-start")
+            if pool:
+                event = pool.pop()
+                event.tx = tx
+                event.link = link
+            else:
+                event = _ArrivalStart(self, tx, link)
+            entries.append((now + link.delay_ns, event))
+        self._sim.schedule_many(entries)
         tx._end_event = self._sim.at(now + airtime, lambda: self._finish_tx(tx), label="tx-end")
-        self._tracer.emit(now, sender, "tx-start", frame=str(frame), airtime=airtime)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(now, sender, "tx-start", frame=str(frame), airtime=airtime)
         return tx
 
     def abort(self, tx: Transmission) -> None:
@@ -215,9 +239,10 @@ class DataChannel:
         if self._busy.get(tx.sender, 0) == 0:
             self._last_busy_end[tx.sender] = now
             self._fire_idle(tx.sender)
-        for link in tx.links:
-            self._sim.at(now + link.delay_ns, _ArrivalEnd(self, tx, link), label="rx-end")
-        self._tracer.emit(now, tx.sender, "tx-abort", frame=str(tx.frame))
+        self._schedule_arrival_ends(tx, now)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(now, tx.sender, "tx-abort", frame=str(tx.frame))
         listener = self._listeners.get(tx.sender)
         if listener is not None:
             listener.on_tx_complete(tx.frame, aborted=True)
@@ -229,12 +254,27 @@ class DataChannel:
         if self._busy.get(tx.sender, 0) == 0:
             self._last_busy_end[tx.sender] = end
             self._fire_idle(tx.sender)
-        for link in tx.links:
-            self._sim.at(end + link.delay_ns, _ArrivalEnd(self, tx, link), label="rx-end")
-        self._tracer.emit(end, tx.sender, "tx-end", frame=str(tx.frame))
+        self._schedule_arrival_ends(tx, end)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(end, tx.sender, "tx-end", frame=str(tx.frame))
         listener = self._listeners.get(tx.sender)
         if listener is not None:
             listener.on_tx_complete(tx.frame, aborted=False)
+
+    def _schedule_arrival_ends(self, tx: Transmission, end: int) -> None:
+        """Fan the per-link arrival-end events out in one batch."""
+        pool = self._end_pool
+        entries = []
+        for link in tx.links:
+            if pool:
+                event = pool.pop()
+                event.tx = tx
+                event.link = link
+            else:
+                event = _ArrivalEnd(self, tx, link)
+            entries.append((end + link.delay_ns, event))
+        self._sim.schedule_many(entries)
 
     # ------------------------------------------------------------------
     # Arrival bookkeeping (driven by scheduled events)
@@ -245,24 +285,32 @@ class DataChannel:
         self._busy[node] = prior + 1
         ongoing = self._receiving.setdefault(node, {})
         corrupted = False
-        capture = self.capture_threshold_db is not None and link.power_dbm is not None
-        if capture:
+        power = link.power_dbm
+        if self.capture_threshold_db is not None and power is not None:
             signals = self._signal_powers.setdefault(node, {})
             if prior > 0:
                 threshold = self.capture_threshold_db
                 # The newcomer corrupts receptions it is not dominated by.
                 for rec in ongoing.values():
                     if rec.power_dbm is None or (
-                        rec.power_dbm - link.power_dbm < threshold
+                        rec.power_dbm - power < threshold
                     ):
                         rec.corrupted = True
-                # The newcomer survives only if it dominates every signal.
-                strongest = max(signals.values(), default=-1e9)
-                corrupted = link.power_dbm - strongest < threshold
-            signals[tx] = link.power_dbm
+                if len(signals) < prior:
+                    # Some concurrent signal has no reported power (mixed
+                    # power/no-power links): dominance cannot be proven,
+                    # so the newcomer falls back to colliding.
+                    corrupted = True
+                else:
+                    # The newcomer survives only if it dominates every signal.
+                    strongest = max(signals.values(), default=-1e9)
+                    corrupted = power - strongest < threshold
+            signals[tx] = power
         elif prior > 0:
             # Overlap: this arrival collides with everything already in the
-            # air at this node, and vice versa (the paper's model).
+            # air at this node, and vice versa (the paper's model; also the
+            # behavior of a no-power link when capture is enabled, since a
+            # power-less arrival cannot win a power comparison).
             for rec in ongoing.values():
                 rec.corrupted = True
             corrupted = True
@@ -277,14 +325,33 @@ class DataChannel:
     def _arrival_end(self, tx: Transmission, link: Link) -> None:
         node = link.node
         if self.capture_threshold_db is not None:
-            self._signal_powers.get(node, {}).pop(tx, None)
-        self._busy[node] = self._busy.get(node, 1) - 1
-        if self._busy[node] <= 0:
-            del self._busy[node]
+            signals = self._signal_powers.get(node)
+            if signals is not None:
+                signals.pop(tx, None)
+        busy = self._busy
+        count = busy.get(node)
+        if not count or count < 0:
+            # An end without a matching start means arrival bookkeeping
+            # lost or duplicated an event; inventing a count here would
+            # silently mask it. Fail loudly instead.
+            self._tracer.emit(
+                self._sim.now, node, "channel-underflow", sender=tx.sender
+            )
+            raise SimulationError(
+                f"busy-counter underflow at node {node}: arrival-end from "
+                f"sender {tx.sender} at t={self._sim.now} without a "
+                f"matching arrival-start"
+            )
+        count -= 1
+        if count:
+            busy[node] = count
+        else:
+            del busy[node]
             if node not in self._transmitting:
                 self._last_busy_end[node] = self._sim.now
                 self._fire_idle(node)
-        rec = self._receiving.get(node, {}).pop(tx, None)
+        ongoing = self._receiving.get(node)
+        rec = ongoing.pop(tx, None) if ongoing else None
         if rec is None:
             return
         listener = self._listeners.get(node)
@@ -295,20 +362,27 @@ class DataChannel:
         ok = (
             not rec.corrupted
             and not tx.aborted
-            and not self._error_model.corrupts(size, self._rng)
+            and (self._error_free or not self._error_model.corrupts(size, self._rng))
         )
+        tracer = self._tracer
         if ok:
-            self._tracer.emit(self._sim.now, node, "rx-ok", frame=str(frame), sender=tx.sender)
+            if tracer.enabled:
+                tracer.emit(self._sim.now, node, "rx-ok", frame=str(frame), sender=tx.sender)
             listener.on_frame_received(frame, tx.sender)
         else:
-            self._tracer.emit(self._sim.now, node, "rx-error", frame=str(frame), sender=tx.sender)
+            if tracer.enabled:
+                tracer.emit(self._sim.now, node, "rx-error", frame=str(frame), sender=tx.sender)
             listener.on_frame_error(tx.sender)
 
 
-class _ArrivalStart:
-    """Bound arrival-start event (avoids per-event lambda allocations)."""
+class _ArrivalStart(FastEvent):
+    """Bound arrival-start event, pooled and scheduled via
+    ``Simulator.schedule_many`` (no lambda, no handle, no allocation in
+    steady state: fired instances return to the channel's free list)."""
 
     __slots__ = ("channel", "tx", "link")
+
+    label = "rx-start"
 
     def __init__(self, channel: DataChannel, tx: Transmission, link: Link):
         self.channel = channel
@@ -316,13 +390,20 @@ class _ArrivalStart:
         self.link = link
 
     def __call__(self) -> None:
-        self.channel._arrival_start(self.tx, self.link)
+        channel = self.channel
+        tx = self.tx
+        link = self.link
+        self.tx = self.link = None
+        channel._start_pool.append(self)
+        channel._arrival_start(tx, link)
 
 
-class _ArrivalEnd:
-    """Bound arrival-end event."""
+class _ArrivalEnd(FastEvent):
+    """Bound arrival-end event (pooled like :class:`_ArrivalStart`)."""
 
     __slots__ = ("channel", "tx", "link")
+
+    label = "rx-end"
 
     def __init__(self, channel: DataChannel, tx: Transmission, link: Link):
         self.channel = channel
@@ -330,4 +411,9 @@ class _ArrivalEnd:
         self.link = link
 
     def __call__(self) -> None:
-        self.channel._arrival_end(self.tx, self.link)
+        channel = self.channel
+        tx = self.tx
+        link = self.link
+        self.tx = self.link = None
+        channel._end_pool.append(self)
+        channel._arrival_end(tx, link)

@@ -5,11 +5,14 @@ transmission (or tone emission) starts, the set of nodes that will sense
 it and the per-link propagation delay. This module centralizes that
 computation over a position provider:
 
-* static scenarios: the full result is computed once per sender and reused;
-* mobile scenarios: results are cached for a configurable window
+* static scenarios: every sender's link table is computed once and frozen
+  into a plain tuple (later calls are a single list index);
+* mobile scenarios: positions are bucketed to a configurable window
   (default 50 ms -- at the paper's top speed of 8 m/s a node moves 0.4 mm
-  per us and 0.4 m per 50 ms, negligible against the 75 m radio range).
-  Set ``cache_window=0`` for exact per-call evaluation.
+  per us and 0.4 m per 50 ms, negligible against the 75 m radio range),
+  and cached link tables are keyed on the *same* bucket epoch, so links
+  and positions can never disagree mid-window. Set ``cache_window=0``
+  for exact per-call evaluation.
 
 Distances are computed with numpy against all node positions at once.
 """
@@ -17,7 +20,7 @@ Distances are computed with numpy against all node positions at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -71,7 +74,7 @@ class Link:
     #: Received power at the node (dBm) when the propagation model can
     #: compute it (LogDistanceModel); None for pure unit-disk models.
     #: Feeds the optional capture-effect collision resolution.
-    power_dbm: float = None  # type: ignore[assignment]
+    power_dbm: Optional[float] = None
 
 
 class NeighborService:
@@ -87,7 +90,14 @@ class NeighborService:
         self._model = model
         self._static = provider.is_static()
         self._cache_window = int(cache_window)
-        self._cache: Dict[int, tuple[int, List[Link]]] = {}
+        #: Static scenarios: per-sender link tables frozen into plain
+        #: tuples, indexed by sender id (no dict lookup, no recompute).
+        self._frozen: Optional[List[Tuple[Link, ...]]] = None
+        #: Mobile scenarios: sender -> (position bucket, links). An entry
+        #: is valid iff its bucket equals the bucket of the query time --
+        #: one integer comparison, and links can never disagree with what
+        #: ``positions_at`` returns for the same time.
+        self._cache: Dict[int, Tuple[int, Tuple[Link, ...]]] = {}
         self._pos_cache_time: int = -1
         self._pos_cache: np.ndarray | None = None
 
@@ -95,40 +105,59 @@ class NeighborService:
     def model(self) -> PropagationModel:
         return self._model
 
+    def _bucket(self, time_ns: int) -> int:
+        """The position-bucket epoch ``time_ns`` falls into."""
+        window = self._cache_window
+        return time_ns if window == 0 else time_ns - time_ns % window
+
     def positions_at(self, time_ns: int) -> np.ndarray:
         """Positions at ``time_ns`` (cached within the mobility window)."""
         if self._static:
             if self._pos_cache is None:
                 self._pos_cache = self._provider.positions(0)
             return self._pos_cache
-        bucket = time_ns if self._cache_window == 0 else time_ns - time_ns % self._cache_window
+        bucket = self._bucket(time_ns)
         if bucket != self._pos_cache_time:
             self._pos_cache = self._provider.positions(bucket)
             self._pos_cache_time = bucket
         assert self._pos_cache is not None
         return self._pos_cache
 
-    def links_from(self, sender: int, time_ns: int) -> List[Link]:
+    def links_from(self, sender: int, time_ns: int) -> Tuple[Link, ...]:
         """All nodes that sense a transmission from ``sender`` at ``time_ns``.
 
         Excludes the sender itself. For each, reports the propagation delay
         and whether the node can actually decode (vs carrier-sense only).
+
+        Static providers are frozen on first use: every sender's table is
+        precomputed into a plain tuple and later calls are a single list
+        index. Mobile providers key the cache on the position-bucket
+        epoch, so cached links are exactly the ones implied by
+        ``positions_at`` at the same time -- never a stale set left over
+        from the previous bucket.
         """
         if self._static:
-            cached = self._cache.get(sender)
-            if cached is not None:
-                return cached[1]
-        else:
-            cached = self._cache.get(sender)
-            if cached is not None:
-                cached_time, links = cached
-                if self._cache_window and 0 <= time_ns - cached_time < self._cache_window:
-                    return links
+            frozen = self._frozen
+            if frozen is None:
+                frozen = self._freeze()
+            if not 0 <= sender < len(frozen):
+                raise ValueError(f"unknown sender id {sender}")
+            return frozen[sender]
+        bucket = self._bucket(time_ns)
+        cached = self._cache.get(sender)
+        if cached is not None and cached[0] == bucket:
+            return cached[1]
         links = self._compute_links(sender, time_ns)
-        self._cache[sender] = (time_ns, links)
+        self._cache[sender] = (bucket, links)
         return links
 
-    def _compute_links(self, sender: int, time_ns: int) -> List[Link]:
+    def _freeze(self) -> List[Tuple[Link, ...]]:
+        """Precompute every sender's link table (static providers only)."""
+        n = len(self.positions_at(0))
+        self._frozen = [self._compute_links(sender, 0) for sender in range(n)]
+        return self._frozen
+
+    def _compute_links(self, sender: int, time_ns: int) -> Tuple[Link, ...]:
         pos = self.positions_at(time_ns)
         if not 0 <= sender < len(pos):
             raise ValueError(f"unknown sender id {sender}")
@@ -144,15 +173,16 @@ class NeighborService:
             d = float(dists[node])
             if not self._model.carrier_sensed(d):
                 continue
+            power = power_fn(d) if power_fn is not None else None
             links.append(
                 Link(
                     node=int(node),
                     delay_ns=propagation_delay_ns(d),
                     in_rx_range=self._model.in_range(d),
-                    power_dbm=float(power_fn(d)) if power_fn is not None else None,
+                    power_dbm=float(power) if power is not None else None,
                 )
             )
-        return links
+        return tuple(links)
 
     def distance(self, a: int, b: int, time_ns: int) -> float:
         """Distance in meters between nodes ``a`` and ``b`` at ``time_ns``."""
@@ -165,6 +195,7 @@ class NeighborService:
 
     def invalidate(self) -> None:
         """Drop all cached neighbor sets (used by tests and topology changes)."""
+        self._frozen = None
         self._cache.clear()
         self._pos_cache = None
         self._pos_cache_time = -1

@@ -43,8 +43,21 @@ class Radio:
         self.node_id = node_id
         self._data = data_channel
         self._tones = dict(tones)
+        # Direct RBT/ABT references: Enum.__hash__ is a Python-level call,
+        # so dict-by-enum lookups showed up in profiles of the tone-sensing
+        # hot path (RMAC polls tones every backoff slot). Identity dispatch
+        # below avoids hashing entirely.
+        self._rbt = self._tones.get(ToneType.RBT)
+        self._abt = self._tones.get(ToneType.ABT)
         self._listener: Optional[RadioListener] = None
         data_channel.attach(node_id, self)
+
+    def _tone(self, tone: ToneType) -> BusyToneChannel:
+        if tone is ToneType.RBT and self._rbt is not None:
+            return self._rbt
+        if tone is ToneType.ABT and self._abt is not None:
+            return self._abt
+        return self._tones[tone]
 
     # ------------------------------------------------------------------
     # Wiring
@@ -93,32 +106,32 @@ class Radio:
     # Busy tones
     # ------------------------------------------------------------------
     def tone_channel(self, tone: ToneType) -> BusyToneChannel:
-        return self._tones[tone]
+        return self._tone(tone)
 
     def tone_on(self, tone: ToneType) -> None:
-        self._tones[tone].turn_on(self.node_id)
+        self._tone(tone).turn_on(self.node_id)
 
     def tone_off(self, tone: ToneType) -> None:
-        self._tones[tone].turn_off(self.node_id)
+        self._tone(tone).turn_off(self.node_id)
 
     def tone_pulse(self, tone: ToneType, duration: int) -> None:
-        self._tones[tone].pulse(self.node_id, duration)
+        self._tone(tone).pulse(self.node_id, duration)
 
     def tone_emitting(self, tone: ToneType) -> bool:
-        return self._tones[tone].is_emitting(self.node_id)
+        return self._tone(tone).is_emitting(self.node_id)
 
     def tone_present(self, tone: ToneType) -> bool:
         """Tone sensing (self-emissions excluded)."""
-        return self._tones[tone].present(self.node_id)
+        return self._tone(tone).present(self.node_id)
 
     def tone_longest_presence(self, tone: ToneType, t0: int, t1: int) -> int:
-        return self._tones[tone].longest_presence(self.node_id, t0, t1)
+        return self._tone(tone).longest_presence(self.node_id, t0, t1)
 
     def watch_tone(self, tone: ToneType, callback: Callable[[ToneType], None]) -> None:
-        self._tones[tone].watch_detection(self.node_id, callback)
+        self._tone(tone).watch_detection(self.node_id, callback)
 
     def unwatch_tone(self, tone: ToneType) -> None:
-        self._tones[tone].unwatch_detection(self.node_id)
+        self._tone(tone).unwatch_detection(self.node_id)
 
     # ------------------------------------------------------------------
     # DataChannel listener protocol (forwarded to the MAC)

@@ -125,6 +125,9 @@ class Telemetry:
         self.heap_sample_interval = heap_sample_interval
         self.label_counts: Dict[str, int] = {}
         self.subsystem_wall_s: Dict[str, float] = {}
+        #: label -> subsystem prefix, cached so the per-event hook does not
+        #: re-split (and re-allocate) the same handful of label strings.
+        self._subsystem_of: Dict[str, str] = {}
         self.heap_samples: List[int] = []
         self.events = 0
         self.wall_s = 0.0
@@ -151,7 +154,10 @@ class Telemetry:
         self.wall_s += duration_s
         counts = self.label_counts
         counts[label] = counts.get(label, 0) + 1
-        subsystem = label.split("-", 1)[0]
+        subsystem = self._subsystem_of.get(label)
+        if subsystem is None:
+            subsystem = label.split("-", 1)[0]
+            self._subsystem_of[label] = subsystem
         walls = self.subsystem_wall_s
         walls[subsystem] = walls.get(subsystem, 0.0) + duration_s
         self._last_heap_depth = heap_depth

@@ -177,3 +177,106 @@ def test_bit_errors_drop_frames():
     sim.run()
     assert recs[1].received == []
     assert recs[1].errors == [0]
+
+
+def test_arrival_end_without_start_raises_underflow():
+    """Regression: a lost/duplicated arrival event used to be silently
+    absorbed (`busy.get(node, 1) - 1` invented a count); it must fail
+    loudly and leave a ``channel-underflow`` trace event behind."""
+    from repro.sim.engine import SimulationError
+    from repro.sim.trace import Tracer
+
+    sim = Simulator()
+    svc = NeighborService(StaticPositions([(0, 0), (50, 0)]), UnitDiskModel(75.0))
+    tracer = Tracer(enabled=True)
+    ch = DataChannel(sim, svc, DEFAULT_PHY, tracer=tracer)
+    rec = Recorder()
+    ch.attach(1, rec)
+    tx = ch.transmit(0, Frame(100))
+    link = tx.links[0]
+    sim.run()  # the real start/end pair fires and balances out
+    assert rec.errors == [] and len(rec.received) == 1
+    with pytest.raises(SimulationError):
+        ch._arrival_end(tx, link)  # a second end with no matching start
+    assert [e.node for e in tracer.events if e.kind == "channel-underflow"] == [1]
+    # The failed end changed nothing: the channel still reads idle.
+    assert not ch.busy(1)
+
+
+def _mixed_power_setup(powered_sender):
+    """Capture-enabled channel where only ``powered_sender``'s links
+    report received power (the other sender's links are power-less)."""
+    sim = Simulator()
+    svc = NeighborService(StaticPositions([(0, 0), (60, 0), (120, 0)]),
+                          UnitDiskModel(75.0))
+    ch = DataChannel(sim, svc, DEFAULT_PHY, capture_threshold_db=10.0)
+    recs = []
+    for node in range(3):
+        rec = Recorder()
+        ch.attach(node, rec)
+        recs.append(rec)
+    from repro.phy.neighbors import Link
+
+    compute = svc.links_from
+
+    def mixed(sender, time_ns):
+        links = compute(sender, time_ns)
+        if sender == powered_sender:
+            links = tuple(
+                Link(l.node, l.delay_ns, l.in_rx_range, -40.0) for l in links
+            )
+        return links
+
+    svc.links_from = mixed
+    return sim, ch, recs
+
+
+@pytest.mark.parametrize("powered_sender", [0, 2])
+def test_capture_tolerates_mixed_power_and_no_power_links(powered_sender):
+    """With capture on, an overlap between a powered link and a
+    power-less (unit-disk) link must collide cleanly in either arrival
+    order -- dominance cannot be proven against an unknown power."""
+    sim, ch, recs = _mixed_power_setup(powered_sender)
+    ch.transmit(0, Frame(100, "a"))
+    sim.at(10 * US, lambda: ch.transmit(2, Frame(100, "b")))
+    sim.run()
+    assert recs[1].received == []
+    assert sorted(recs[1].errors) == [0, 2]
+    assert not ch.busy(1)
+
+
+def test_abort_before_arrival_start_still_pairs_events():
+    """Abort at t=100 ns, before the start has propagated (167 ns): the
+    receiver must still see a well-formed start/end pair, one rx-error,
+    and a busy counter that returns to zero."""
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    tx = ch.transmit(0, Frame(100))
+    sim.at(100, lambda: ch.abort(tx))
+    sim.run()
+    assert recs[0].tx_done == [(tx.frame, True)]
+    assert recs[1].rx_starts == [0]       # the start still fired
+    assert recs[1].errors == [0]          # exactly one error at the end
+    assert recs[1].received == []
+    assert not ch.busy(1)
+    assert ch._busy == {}                 # counter fully drained
+
+
+def test_notify_idle_reregister_during_fire_waits_for_next_idle():
+    """A callback that makes the node busy again and re-registers must
+    land in the *next* waiter list, not re-fire in the same pass."""
+    sim, ch, recs = make_channel([(0, 0), (50, 0)])
+    airtime = 152 * US  # Frame(14)
+    calls = []
+
+    def second():
+        calls.append(("second", sim.now))
+
+    def first():
+        calls.append(("first", sim.now))
+        ch.transmit(0, Frame(14, "again"))
+        ch.notify_idle(0, second)
+
+    ch.transmit(0, Frame(14, "first"))
+    ch.notify_idle(0, first)
+    sim.run()
+    assert calls == [("first", airtime), ("second", 2 * airtime)]

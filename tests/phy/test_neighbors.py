@@ -86,3 +86,45 @@ def test_mobile_cache_window_zero_is_exact():
 def test_static_positions_validation():
     with pytest.raises(ValueError):
         StaticPositions([[1, 2, 3]])
+
+
+def test_mobile_cache_follows_position_bucket_epoch():
+    """Regression: cached mobile links must match the *current* bucket.
+
+    The cache used to stay valid for a full window from whenever the
+    entry was computed, so an entry primed late in bucket k kept serving
+    bucket-k links well into bucket k+1 -- while ``positions_at`` had
+    already moved on. Links and positions would disagree for the same
+    query time. Now the cache is keyed on the position-bucket epoch, so
+    a query just past the boundary recomputes.
+    """
+    import random
+
+    from repro.mobility.base import MobilityProvider
+    from repro.mobility.waypoint import RandomWaypointModel
+
+    window = 10_000_000  # 10 ms buckets
+    models = [
+        RandomWaypointModel(x, y, 200.0, 150.0, 5.0, 30.0, 0.0,
+                            random.Random(17 + i))
+        for i, (x, y) in enumerate([(0.0, 0.0), (70.0, 10.0),
+                                    (140.0, 0.0), (40.0, 100.0)])
+    ]
+    provider = MobilityProvider(models)
+    svc = NeighborService(provider, UnitDiskModel(75.0), cache_window=window)
+    exact = NeighborService(provider, UnitDiskModel(75.0), cache_window=0)
+    for k in range(40):
+        # Prime the cache late in bucket k, then query early in bucket
+        # k+1: the second answer must reflect the new bucket's
+        # positions, not the cached previous-bucket links.
+        for t in (k * window + int(0.95 * window),
+                  (k + 1) * window + int(0.05 * window)):
+            bucket = t - t % window
+            for sender in range(len(models)):
+                assert svc.links_from(sender, t) == exact.links_from(sender, bucket)
+
+
+def test_mobile_cache_hit_within_bucket_returns_same_object():
+    svc = NeighborService(_MovingProvider(), UnitDiskModel(75.0),
+                          cache_window=1000)
+    assert svc.links_from(0, 100) is svc.links_from(0, 900)

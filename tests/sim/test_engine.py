@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import FastEvent, SimulationError, Simulator
 
 
 def test_events_fire_in_time_order():
@@ -172,3 +172,70 @@ def test_events_scheduled_during_run_execute():
     sim.run()
     assert fired == [0, 1, 2, 3, 4, 5]
     assert sim.now == 50
+
+
+class _Probe(FastEvent):
+    """Minimal schedule_many payload used by the tests below."""
+
+    __slots__ = ("log", "tag")
+
+    label = "probe-event"
+
+    def __init__(self, log, tag):
+        self.log = log
+        self.tag = tag
+
+    def __call__(self):
+        self.log.append(self.tag)
+
+
+def test_schedule_many_fires_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule_many([(30, _Probe(log, "c")), (10, _Probe(log, "a")),
+                       (20, _Probe(log, "b"))])
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_schedule_many_ties_interleave_with_handles_by_insertion():
+    sim = Simulator()
+    log = []
+    sim.at(5, lambda: log.append("handle-1"))
+    sim.schedule_many([(5, _Probe(log, "fast"))])
+    sim.at(5, lambda: log.append("handle-2"))
+    sim.run()
+    assert log == ["handle-1", "fast", "handle-2"]
+
+
+def test_schedule_many_rejects_past_times():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    log = []
+    with pytest.raises(SimulationError):
+        sim.schedule_many([(150, _Probe(log, "ok")), (50, _Probe(log, "past"))])
+    # The valid entry before the bad one stays scheduled and still fires.
+    sim.run()
+    assert log == ["ok"]
+
+
+def test_schedule_many_counts_and_labels_in_telemetry():
+    from repro.sim.telemetry import Telemetry
+
+    sim = Simulator()
+    telemetry = Telemetry().attach(sim)
+    log = []
+    sim.schedule_many([(i, _Probe(log, i)) for i in range(4)])
+    sim.run()
+    assert sim.events_processed == 4
+    assert telemetry.label_counts == {"probe-event": 4}
+
+
+def test_schedule_many_via_step():
+    sim = Simulator()
+    log = []
+    sim.schedule_many([(10, _Probe(log, "x"))])
+    assert sim.step() is True
+    assert log == ["x"] and sim.now == 10
