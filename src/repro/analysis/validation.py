@@ -169,3 +169,14 @@ def validate(results: Sequence[SweepResult]) -> List[dict]:
 def all_pass(rows: Sequence[dict]) -> bool:
     """True if no claim failed (n/a rows do not count as failures)."""
     return all(row["verdict"] != "FAIL" for row in rows)
+
+
+def validate_store(store) -> List[dict]:
+    """Evaluate every claim against an on-disk result store
+    (``repro validate --from DIR``): aggregates whatever points the
+    store holds — no simulation — and claims whose points are missing
+    report ``n/a`` rather than failing, so a partially-populated
+    campaign can be sanity-checked while it is still running."""
+    from repro.experiments.runner import results_from_store
+
+    return validate(results_from_store(store, ("rmac", "bmmm")))

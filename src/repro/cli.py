@@ -4,7 +4,12 @@ Commands
 --------
 ``run``      one scenario, printed summary (the quickstart as a command).
 ``bench``    the fixed perf sweep, compared against the committed baseline.
-``figure``   regenerate a paper figure (fig7..fig13) at a chosen scale.
+``figure``   regenerate a paper figure (fig7..fig13) at a chosen scale,
+             or from a campaign store with ``--from DIR`` (no simulation).
+``campaign`` checkpointed sweeps: ``run`` (kill-and-resume safe, every
+             finished point durably on disk) and ``status`` (progress).
+``validate`` check every quantitative paper claim against a sweep
+             (or a store, with ``--from DIR``).
 ``topology`` Fig. 6 tree statistics over random placements.
 ``fig4``     the Fig. 4 handshake trace.
 ``protocols`` list the registered MAC protocols.
@@ -152,19 +157,32 @@ FIGURE_SCALES = {
 }
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
-    spec = FIGURES[args.figure]
-    n_nodes, n_packets, rates, seeds = FIGURE_SCALES[args.scale]
-
+def _scale_make_config(scale: str):
+    """The make_config factory for one --scale choice."""
     def make_config(protocol, scenario, rate, seed):
-        if args.scale == "paper":
+        if scale == "paper":
             return paper_scenario(protocol, scenario, rate, seed)
+        n_nodes, n_packets, _rates, _seeds = FIGURE_SCALES[scale]
         return scaled_scenario(protocol, scenario, rate, seed,
                                n_packets=n_packets, n_nodes=n_nodes)
+    return make_config
 
-    results = run_sweep(list(spec.protocols), list(SCENARIOS), list(rates),
-                        list(seeds), make_config, **_sweep_options(args))
-    rows = figure_rows(spec, results)
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    spec = FIGURES[args.figure]
+    if args.from_store:
+        from repro.experiments.figures import figure_rows_from_store
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.from_store, create=False)
+        rows = figure_rows_from_store(spec, store)
+        results = []
+    else:
+        _n, _p, rates, seeds = FIGURE_SCALES[args.scale]
+        results = run_sweep(list(spec.protocols), list(SCENARIOS), list(rates),
+                            list(seeds), _scale_make_config(args.scale),
+                            **_sweep_options(args))
+        rows = figure_rows(spec, results)
     print(format_table(rows, title=spec.title))
     if args.csv:
         with open(args.csv, "w") as fh:
@@ -219,46 +237,63 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.analysis.validation import all_pass, validate
+    from repro.analysis.validation import all_pass, validate, validate_store
 
-    n_nodes, n_packets, rates, seeds = FIGURE_SCALES[args.scale]
+    if args.from_store:
+        from repro.experiments.store import ResultStore
 
-    def make_config(protocol, scenario, rate, seed):
-        if args.scale == "paper":
-            return paper_scenario(protocol, scenario, rate, seed)
-        return scaled_scenario(protocol, scenario, rate, seed,
-                               n_packets=n_packets, n_nodes=n_nodes)
+        rows = validate_store(ResultStore(args.from_store, create=False))
+        print(format_table(rows, title="Paper-claim validation"))
+        return 0 if all_pass(rows) else 1
 
+    _n, _p, rates, seeds = FIGURE_SCALES[args.scale]
     results = run_sweep(["rmac", "bmmm"], list(SCENARIOS), list(rates),
-                        list(seeds), make_config, **_sweep_options(args))
+                        list(seeds), _scale_make_config(args.scale),
+                        **_sweep_options(args))
     rows = validate(results)
     print(format_table(rows, title="Paper-claim validation"))
     failure_code = _report_failures(results, args.fail_on_error)
     return failure_code or (0 if all_pass(rows) else 1)
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import Campaign
 
-    n_nodes, n_packets, rates, seeds = FIGURE_SCALES[args.scale]
-
-    def make_config(protocol, scenario, rate, seed):
-        if args.scale == "paper":
-            return paper_scenario(protocol, scenario, rate, seed)
-        return scaled_scenario(protocol, scenario, rate, seed,
-                               n_packets=n_packets, n_nodes=n_nodes)
-
-    campaign = Campaign(args.store)
+    _n, _p, rates, seeds = FIGURE_SCALES[args.scale]
+    campaign = Campaign(args.out)
+    options = _sweep_options(args)
+    if options["progress"] is None:
+        def default_progress(done, total, key, error):
+            status = f"FAILED ({error})" if error else "ok"
+            print(f"[{done}/{total}] {key} {status}", flush=True)
+        options["progress"] = default_progress
     results = campaign.run(
         args.protocols.split(","), list(SCENARIOS), list(rates),
-        list(seeds), make_config,
-        progress=lambda key, done, total: print(f"[{done}/{total}] {key}"),
+        list(seeds), _scale_make_config(args.scale),
+        manifest_extra={"scale": args.scale},
+        **options,
     )
     for figure in sorted(FIGURES):
         spec = FIGURES[figure]
         rows = figure_rows(spec, results)
         print(format_table(rows, title=f"{figure}: {spec.title}"))
-    print(f"campaign store: {args.store} ({len(campaign)} points)")
+    print(f"campaign store: {campaign.path} ({len(campaign)} points)")
+    return _report_failures(results, args.fail_on_error)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import Campaign
+    from repro.experiments.report import render_status
+    from repro.experiments.store import ResultStore
+
+    campaign = Campaign(ResultStore(args.out, create=False))
+    manifest = campaign.store.manifest() or {}
+    make_config = None
+    if manifest.get("scale") in FIGURE_SCALES:
+        make_config = _scale_make_config(manifest["scale"])
+    status = campaign.status(make_config)
+    print(render_status(status, title=f"campaign store: {campaign.path}"),
+          end="")
     return 0
 
 
@@ -308,6 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("figure", choices=sorted(FIGURES))
     fig.add_argument("--scale", choices=("small", "medium", "paper"),
                      default="small")
+    fig.add_argument("--from", dest="from_store", metavar="DIR",
+                     help="read a campaign result store instead of "
+                          "simulating (partial stores give partial rows)")
     _add_sweep_flags(fig)
     fig.add_argument("--csv")
     fig.set_defaults(func=_cmd_figure)
@@ -326,13 +364,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign",
-        help="run (or resume) a checkpointed sweep and print every figure",
+        help="checkpointed sweeps over an on-disk result store",
     )
-    campaign.add_argument("store", help="JSON checkpoint file")
-    campaign.add_argument("--scale", choices=sorted(FIGURE_SCALES), default="small")
-    campaign.add_argument("--protocols", default="rmac,bmmm",
-                          help="comma-separated protocol names")
-    campaign.set_defaults(func=_cmd_campaign)
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="run (or resume) a checkpointed sweep; kill it any time -- "
+             "completed points are on disk and are never re-simulated",
+    )
+    campaign_run.add_argument("--out", required=True, metavar="DIR",
+                              help="result-store directory (created on "
+                                   "first run; a v0 .json checkpoint "
+                                   "here is migrated in place)")
+    campaign_run.add_argument("--scale", choices=sorted(FIGURE_SCALES),
+                              default="small")
+    campaign_run.add_argument("--protocols", default="rmac,bmmm",
+                              help="comma-separated protocol names")
+    _add_sweep_flags(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status",
+        help="progress of a campaign store: done/failed/stale/missing",
+    )
+    campaign_status.add_argument("--out", required=True, metavar="DIR",
+                                 help="result-store directory")
+    campaign_status.set_defaults(func=_cmd_campaign_status)
 
     validate = sub.add_parser(
         "validate",
@@ -340,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--scale", choices=sorted(FIGURE_SCALES),
                           default="small")
+    validate.add_argument("--from", dest="from_store", metavar="DIR",
+                          help="check claims against a campaign result "
+                               "store instead of simulating")
     _add_sweep_flags(validate)
     validate.set_defaults(func=_cmd_validate)
     return parser

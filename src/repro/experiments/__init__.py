@@ -1,4 +1,28 @@
-"""Experiment harness: the paper's scenarios, sweep runner and figures."""
+"""Experiment harness: the paper's scenarios, sweep runner and figures.
+
+Ownership boundaries within the package (each module's docstring is the
+API reference for its layer):
+
+* :mod:`~repro.experiments.scenarios` — the Section 4.1 matrix as
+  config factories (``paper_scenario`` / ``scaled_scenario``); pure
+  construction, no execution.
+* :mod:`~repro.experiments.runner` — execution and aggregation:
+  ``run_sweep`` fans (protocol, scenario, rate, seed) jobs over a
+  process pool, captures failures, and averages seeds into
+  ``SweepResult`` points; ``results_from_store`` aggregates without
+  simulating.
+* :mod:`~repro.experiments.store` — persistence: the append-only JSONL
+  ``ResultStore``, the config hash, and legacy-store migration.
+* :mod:`~repro.experiments.campaign` — workflow: ``Campaign`` ties the
+  matrix, the store and the runner into a resumable, status-reporting
+  long sweep.
+* :mod:`~repro.experiments.figures` — figure definitions: what each
+  paper figure plots, and rows from results or straight from a store.
+* :mod:`~repro.experiments.report` — presentation: text tables, CSV,
+  campaign status rendering.
+* :mod:`~repro.experiments.bench` — the fixed performance benchmark and
+  its committed baseline (perf work's measured claim).
+"""
 
 from repro.experiments.scenarios import (
     PAPER_RATES,
@@ -6,31 +30,44 @@ from repro.experiments.scenarios import (
     paper_scenario,
     scaled_scenario,
 )
+from repro.experiments.store import ResultStore, config_hash, point_key
 from repro.experiments.campaign import Campaign
 from repro.experiments.runner import (
     PointFailure,
     SweepResult,
+    results_from_store,
     run_point,
     run_sweep,
     sweep_failures,
 )
-from repro.experiments.figures import FIGURES, FigureSpec, figure_rows
-from repro.experiments.report import format_table, rows_to_csv
+from repro.experiments.figures import (
+    FIGURES,
+    FigureSpec,
+    figure_rows,
+    figure_rows_from_store,
+)
+from repro.experiments.report import format_table, render_status, rows_to_csv
 
 __all__ = [
     "Campaign",
     "PAPER_RATES",
+    "ResultStore",
     "SCENARIOS",
+    "config_hash",
     "paper_scenario",
+    "point_key",
     "scaled_scenario",
     "PointFailure",
     "SweepResult",
+    "results_from_store",
     "run_point",
     "run_sweep",
     "sweep_failures",
     "FIGURES",
     "FigureSpec",
     "figure_rows",
+    "figure_rows_from_store",
     "format_table",
+    "render_status",
     "rows_to_csv",
 ]

@@ -1,5 +1,11 @@
 """The ``repro bench`` performance benchmark.
 
+Ownership: this module owns **performance measurement** -- a fixed,
+committed workload and its baseline comparison. It deliberately does
+not use the sweep runner or the result store: a benchmark wants
+identical, unresumed, freshly-timed runs every time, where a campaign
+wants to skip everything it already knows.
+
 A fixed sweep of paper-scale scenarios measured for event-loop
 throughput, with the result committed to the repository as
 ``benchmarks/BENCH_<rev>.json``. Each PR that touches the kernel or the

@@ -1,61 +1,56 @@
-"""Checkpointed experiment campaigns.
+"""Checkpointed experiment campaigns (the orchestration layer).
+
+Ownership: :class:`Campaign` owns the **workflow** — defining the
+matrix, recording it in the store's manifest, resuming after an
+interruption, and reporting progress. Execution (process pool, retries,
+failure capture) is delegated to :func:`repro.experiments.runner.run_sweep`,
+which writes through the store as jobs complete; persistence (record
+format, hashing, durability) is owned by
+:class:`repro.experiments.store.ResultStore`.
 
 A paper-scale sweep (480 runs at 10 000 packets) takes hours in pure
-Python; a campaign persists every finished point to a JSON file so the
-sweep can be interrupted and resumed, and the analysis notebooks can load
-partial results. Results are keyed by (protocol, scenario, rate, seed) and
-a fingerprint of the scenario config, so a changed configuration never
-silently reuses stale points.
+Python. A campaign makes that survivable: every finished (protocol,
+scenario, rate, seed) point is durably appended to the store before the
+next one starts, so the process can be killed at any instant and
+re-invoked — only missing, failed, or configuration-changed points are
+re-simulated, and the resumed aggregates are bit-identical to an
+uninterrupted run (``tests/experiments/test_campaign.py`` asserts this).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import json
-import os
-import tempfile
-from dataclasses import asdict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.runner import SweepResult, aggregate, run_point
-from repro.metrics.summary import RunSummary
+from repro.experiments.runner import (
+    ProgressFn,
+    SweepResult,
+    aggregate,
+    run_sweep,
+)
+from repro.experiments.store import PointKey, ResultStore, config_hash, point_key
 from repro.world.network import ScenarioConfig
 
-
-def _config_fingerprint(config: ScenarioConfig) -> str:
-    payload = asdict(config)
-    return json.dumps(payload, sort_keys=True, default=str)
-
-
-def _point_key(protocol: str, scenario: str, rate: float, seed: int) -> str:
-    return f"{protocol}|{scenario}|{rate}|{seed}"
+MakeConfig = Callable[[str, str, float, int], ScenarioConfig]
 
 
 class Campaign:
-    """A resumable sweep persisted to a JSON file."""
+    """A resumable sweep persisted to an on-disk result store.
 
-    def __init__(self, path: str):
-        self.path = path
-        self._store: Dict[str, dict] = {}
-        if os.path.exists(path):
-            with open(path) as fh:
-                self._store = json.load(fh)
+    ``store`` is a directory path (created on demand; a v0 single-file
+    JSON checkpoint at that path is migrated in place) or an already-open
+    :class:`ResultStore`.
+    """
 
-    # ------------------------------------------------------------------
-    def _save(self) -> None:
-        directory = os.path.dirname(os.path.abspath(self.path)) or "."
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(self._store, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+    def __init__(self, store):
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+
+    @property
+    def path(self) -> str:
+        return self.store.directory
 
     def __len__(self) -> int:
-        return len(self._store)
+        """Completed points on disk."""
+        return len(self.store)
 
     # ------------------------------------------------------------------
     def run(
@@ -64,33 +59,37 @@ class Campaign:
         scenarios: Sequence[str],
         rates: Sequence[float],
         seeds: Sequence[int],
-        make_config: Callable[[str, str, float, int], ScenarioConfig],
-        progress: Optional[Callable[[str, int, int], None]] = None,
+        make_config: MakeConfig,
+        *,
+        workers: int = 0,
+        retries: int = 0,
+        strict: bool = False,
+        progress: Optional[ProgressFn] = None,
+        manifest_extra: Optional[dict] = None,
     ) -> List[SweepResult]:
-        """Run (or resume) the matrix; every completed point is flushed to
-        disk immediately. Returns aggregated sweep results."""
-        matrix: List[Tuple[str, str, float, int]] = [
-            (p, sc, r, se)
-            for p in protocols for sc in scenarios for r in rates for se in seeds
-        ]
-        done = 0
-        for protocol, scenario, rate, seed in matrix:
-            key = _point_key(protocol, scenario, rate, seed)
-            config = make_config(protocol, scenario, rate, seed)
-            fingerprint = _config_fingerprint(config)
-            entry = self._store.get(key)
-            if entry is None or entry["fingerprint"] != fingerprint:
-                summary = run_point(config)
-                self._store[key] = {
-                    "fingerprint": fingerprint,
-                    "summary": asdict(summary),
-                }
-                self._save()
-            done += 1
-            if progress is not None:
-                progress(key, done, len(matrix))
-        return self.aggregate(protocols, scenarios, rates, seeds)
+        """Run (or resume) the matrix; every completed point is durably
+        on disk before the next begins. Returns aggregated results.
 
+        Accepts the runner's execution knobs (``workers``, ``retries``,
+        ``strict``, ``progress``) unchanged. ``manifest_extra`` merges
+        extra keys (e.g. the CLI's ``scale``) into the stored manifest
+        so ``repro campaign status`` can rebuild the matrix later.
+        """
+        manifest = {
+            "protocols": [str(p) for p in protocols],
+            "scenarios": [str(s) for s in scenarios],
+            "rates": [float(r) for r in rates],
+            "seeds": [int(s) for s in seeds],
+        }
+        manifest.update(manifest_extra or {})
+        self.store.write_manifest(manifest)
+        return run_sweep(
+            protocols, scenarios, rates, seeds, make_config,
+            workers, retries=retries, strict=strict, progress=progress,
+            store=self.store,
+        )
+
+    # ------------------------------------------------------------------
     def aggregate(
         self,
         protocols: Sequence[str],
@@ -98,16 +97,72 @@ class Campaign:
         rates: Sequence[float],
         seeds: Sequence[int],
     ) -> List[SweepResult]:
-        """Aggregate stored points (only points present are used)."""
+        """Aggregate stored points for a matrix (only points present are
+        used; a point with no stored seeds is omitted entirely)."""
+        completed = self.store.completed()
         results: List[SweepResult] = []
         for protocol in protocols:
             for scenario in scenarios:
                 for rate in rates:
                     summaries = []
                     for seed in seeds:
-                        entry = self._store.get(_point_key(protocol, scenario, rate, seed))
-                        if entry is not None:
-                            summaries.append(RunSummary(**entry["summary"]))
+                        summary = completed.get(point_key(protocol, scenario, rate, seed))
+                        if summary is not None:
+                            summaries.append(summary)
                     if summaries:
                         results.append(aggregate(protocol, scenario, rate, summaries))
         return results
+
+    # ------------------------------------------------------------------
+    def expected_hashes(self, make_config: MakeConfig) -> Optional[Dict[PointKey, str]]:
+        """key -> config hash for the manifest's full matrix (no
+        simulation — just config construction), or None without a
+        manifest."""
+        manifest = self.store.manifest()
+        if manifest is None:
+            return None
+        expected: Dict[PointKey, str] = {}
+        for protocol in manifest["protocols"]:
+            for scenario in manifest["scenarios"]:
+                for rate in manifest["rates"]:
+                    for seed in manifest["seeds"]:
+                        config = make_config(protocol, scenario, rate, seed)
+                        expected[point_key(protocol, scenario, rate, seed)] = (
+                            config_hash(config)
+                        )
+        return expected
+
+    def status(self, make_config: Optional[MakeConfig] = None) -> dict:
+        """Progress report: totals plus per-(protocol, scenario) rows.
+
+        With ``make_config`` (and a stored manifest) the report also
+        distinguishes *stale* points — completed under a configuration
+        whose hash no longer matches — from missing ones.
+        """
+        expected = self.expected_hashes(make_config) if make_config else None
+        totals = self.store.status(expected)
+        per_group: Dict[tuple, dict] = {}
+
+        def group(protocol, scenario):
+            return per_group.setdefault(
+                (protocol, scenario),
+                {"protocol": protocol, "scenario": scenario,
+                 "done": 0, "failed": 0, "stale": 0,
+                 "total": 0 if expected is not None else None},
+            )
+
+        if expected is not None:
+            for (protocol, scenario, _r, _s) in expected:
+                group(protocol, scenario)["total"] += 1
+        for (protocol, scenario, rate, seed), record in self.store.records():
+            row = group(protocol, scenario)
+            key = (protocol, scenario, rate, seed)
+            if record["status"] != "ok":
+                row["failed"] += 1
+            elif expected is not None and expected.get(key) not in (
+                    None, record["config_hash"]):
+                row["stale"] += 1
+            else:
+                row["done"] += 1
+        totals["rows"] = [per_group[k] for k in sorted(per_group)]
+        return totals

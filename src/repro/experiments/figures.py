@@ -1,8 +1,12 @@
 """One entry per paper figure: which metric, which protocols, how plotted.
 
-``figure_rows`` turns sweep results into the rows the paper's figure
-shows -- one row per (scenario, rate) with one column per protocol/series
--- so a bench or example can print exactly what Fig. N plots.
+Ownership: this module owns the **figure definitions** -- which
+RunSummary metric each paper figure plots, for which protocols, under
+what label. It never runs simulations: ``figure_rows`` consumes
+already-aggregated :class:`SweepResult` rows, and
+``figure_rows_from_store`` reads them out of an on-disk result store
+(``repro figure --from DIR``), so figures regenerate from a partially-
+populated store without re-simulating anything.
 """
 
 from __future__ import annotations
@@ -10,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.runner import SweepResult
+from repro.experiments.runner import SweepResult, results_from_store
+from repro.experiments.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -98,3 +103,10 @@ def figure_rows(spec: FigureSpec, results: Sequence[SweepResult]) -> List[dict]:
                 row[column] = result[metric]
         rows.append(row)
     return rows
+
+
+def figure_rows_from_store(spec: FigureSpec, store: ResultStore) -> List[dict]:
+    """``figure_rows`` over whatever points a result store holds --
+    regenerating a figure from a (possibly partial) campaign store
+    costs zero simulation time."""
+    return figure_rows(spec, results_from_store(store, spec.protocols))

@@ -1,4 +1,11 @@
-"""Plain-text tables and CSV output for figure rows."""
+"""Plain-text tables, CSV output, and campaign status rendering.
+
+Ownership: this module owns **presentation only** -- turning row dicts
+(figure rows, validation rows, campaign status rows) into aligned text
+tables or CSV. It holds no experiment logic and reads nothing from
+disk; ``render_status`` formats the progress dict that
+``Campaign.status`` computes from the result store.
+"""
 
 from __future__ import annotations
 
@@ -51,4 +58,25 @@ def rows_to_csv(rows: Sequence[dict]) -> str:
     out.write(",".join(columns) + "\n")
     for row in rows:
         out.write(",".join(_fmt(row.get(c)) for c in columns) + "\n")
+    return out.getvalue()
+
+
+def render_status(status: dict, title: Optional[str] = None) -> str:
+    """Render a ``Campaign.status()`` dict: per-(protocol, scenario)
+    table plus a one-line total (percentages only when the store has a
+    manifest to define the full matrix)."""
+    out = io.StringIO()
+    if status.get("rows"):
+        out.write(format_table(status["rows"], title=title))
+    elif title:
+        out.write(title + "\n(no points stored)\n")
+    done, failed, stale = status["done"], status["failed"], status["stale"]
+    if status["total"] is not None:
+        pct = 100.0 * done / status["total"] if status["total"] else 100.0
+        out.write(f"{done}/{status['total']} points done ({pct:.0f}%), "
+                  f"{failed} failed, {stale} stale, "
+                  f"{status['missing']} missing\n")
+    else:
+        out.write(f"{done} points done, {failed} failed (no manifest: "
+                  f"totals unknown)\n")
     return out.getvalue()

@@ -1,5 +1,12 @@
 """Sweep runner: executes scenario points, in parallel and fault-tolerantly.
 
+Ownership: this module owns **execution and aggregation** — turning a
+(protocols x scenarios x rates x seeds) matrix into per-point
+:class:`SweepResult` averages. Persistence lives in
+:mod:`repro.experiments.store` (the runner only *writes through* a store
+it is handed); workflow (manifest, resume, status) lives in
+:mod:`repro.experiments.campaign`.
+
 A *point* is (protocol, scenario, rate); each point runs over several
 seeds (the paper: ten random placements, identical across protocols so
 the comparison is paired) and the summaries are averaged.
@@ -15,6 +22,12 @@ own future, a failure is captured as a :class:`PointFailure` naming the
 exact (protocol, scenario, rate, seed) that died (with its traceback),
 optionally retried, and the surviving seeds are still aggregated. Pass
 ``strict=True`` to get the old fail-fast behavior instead.
+
+Checkpointing: pass ``store=ResultStore(dir)`` and every finished job is
+appended to disk *as it completes* (success or captured failure), while
+jobs whose exact configuration hash is already stored are served from
+disk without simulating. Killing a sweep therefore costs only the
+in-flight jobs; re-invoking with the same arguments resumes.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.store import ResultStore, config_hash
 from repro.metrics.summary import RunSummary
 from repro.world.network import ScenarioConfig, build_network
 
@@ -130,6 +144,11 @@ class _Job:
 #: Progress callback: (done, total, job_key, error_or_None).
 ProgressFn = Callable[[int, int, str, Optional[str]], None]
 
+#: Completion hook: called with (job, RunSummary | PointFailure) the
+#: moment a job's outcome is final (after retries). The store
+#: write-through path; runs in the submitting process.
+ResultFn = Callable[["_Job", object], None]
+
 
 def _failure(job: _Job, exc: BaseException, attempts: int) -> PointFailure:
     return PointFailure(
@@ -150,6 +169,7 @@ def _run_serial(
     retries: int,
     strict: bool,
     progress: Optional[ProgressFn],
+    on_result: Optional[ResultFn] = None,
 ) -> Dict[str, object]:
     outcomes: Dict[str, object] = {}
     for done, job in enumerate(jobs, start=1):
@@ -162,6 +182,8 @@ def _run_serial(
                     raise
                 outcomes[job.key] = _failure(job, exc, attempt)
         result = outcomes[job.key]
+        if on_result is not None:
+            on_result(job, result)
         if progress is not None:
             error = result.error if isinstance(result, PointFailure) else None
             progress(done, len(jobs), job.key, error)
@@ -174,6 +196,7 @@ def _run_parallel(
     retries: int,
     strict: bool,
     progress: Optional[ProgressFn],
+    on_result: Optional[ResultFn] = None,
 ) -> Dict[str, object]:
     outcomes: Dict[str, object] = {}
     done = 0
@@ -196,6 +219,8 @@ def _run_parallel(
                 else:
                     outcomes[job.key] = _failure(job, exc, attempt)
                 done += 1
+                if on_result is not None:
+                    on_result(job, outcomes[job.key])
                 if progress is not None:
                     result = outcomes[job.key]
                     error = result.error if isinstance(result, PointFailure) else None
@@ -214,6 +239,7 @@ def run_sweep(
     retries: int = 0,
     strict: bool = False,
     progress: Optional[ProgressFn] = None,
+    store: Optional[ResultStore] = None,
 ) -> List[SweepResult]:
     """Run the full matrix and aggregate per point.
 
@@ -233,6 +259,13 @@ def run_sweep(
     progress:
         Called after every finished job as ``progress(done, total,
         job_key, error_or_None)`` -- e.g. for live console reporting.
+        Jobs served from the store count too (key suffixed " (cached)").
+    store:
+        A :class:`~repro.experiments.store.ResultStore` to resume from
+        and write through: jobs whose exact config hash is already
+        stored are not re-simulated, and every finished job (success or
+        captured failure) is appended as it completes, so an
+        interrupted sweep loses only its in-flight jobs.
     """
     jobs: List[_Job] = []
     for protocol in protocols:
@@ -243,10 +276,43 @@ def run_sweep(
                         _Job(protocol, scenario, rate, seed,
                              make_config(protocol, scenario, rate, seed))
                     )
+
+    cached: Dict[str, RunSummary] = {}
+    on_result: Optional[ResultFn] = None
+    run_progress = progress
+    if store is not None:
+        hashes = {job.key: config_hash(job.config) for job in jobs}
+        for job in jobs:
+            hit = store.get(job.protocol, job.scenario, job.rate_pps,
+                            job.seed, hashes[job.key])
+            if hit is not None:
+                cached[job.key] = hit
+        if progress is not None:
+            for done, key in enumerate(cached, start=1):
+                progress(done, len(jobs), key + " (cached)", None)
+            base, total = len(cached), len(jobs)
+
+            def run_progress(done, _pending_total, key, error,
+                             _base=base, _total=total):
+                progress(_base + done, _total, key, error)
+
+        def on_result(job, outcome):
+            if isinstance(outcome, RunSummary):
+                store.record_success(job.protocol, job.scenario, job.rate_pps,
+                                     job.seed, hashes[job.key], outcome)
+            else:
+                store.record_failure(job.protocol, job.scenario, job.rate_pps,
+                                     job.seed, hashes[job.key],
+                                     error=outcome.error,
+                                     attempts=outcome.attempts)
+
+    to_run = [job for job in jobs if job.key not in cached]
     if workers and workers > 1:
-        outcomes = _run_parallel(jobs, workers, retries, strict, progress)
+        outcomes = _run_parallel(to_run, workers, retries, strict,
+                                 run_progress, on_result)
     else:
-        outcomes = _run_serial(jobs, retries, strict, progress)
+        outcomes = _run_serial(to_run, retries, strict, run_progress, on_result)
+    outcomes.update(cached)
 
     results: List[SweepResult] = []
     index = 0
@@ -269,3 +335,27 @@ def sweep_failures(results: Sequence[SweepResult]) -> List[PointFailure]:
     for result in results:
         collected.extend(result.failures)
     return collected
+
+
+def results_from_store(
+    store: ResultStore,
+    protocols: Optional[Sequence[str]] = None,
+) -> List[SweepResult]:
+    """Aggregate whatever a store holds, without simulating anything.
+
+    Groups every completed point by (protocol, scenario, rate) — a
+    partially-populated store yields partial results, each point
+    averaged over the seeds actually present. Powers ``repro figure
+    --from DIR`` and ``repro validate --from DIR``.
+    """
+    groups: Dict[Tuple[str, str, float], List[Tuple[int, RunSummary]]] = {}
+    for (protocol, scenario, rate, seed), summary in store.completed().items():
+        if protocols is not None and protocol not in protocols:
+            continue
+        groups.setdefault((protocol, scenario, rate), []).append((seed, summary))
+    results: List[SweepResult] = []
+    for (protocol, scenario, rate) in sorted(groups):
+        per_seed = [s for _, s in sorted(groups[(protocol, scenario, rate)],
+                                         key=lambda pair: pair[0])]
+        results.append(aggregate(protocol, scenario, rate, per_seed))
+    return results

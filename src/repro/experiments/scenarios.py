@@ -1,5 +1,11 @@
 """The paper's experiment matrix (Section 4.1).
 
+Ownership: this module owns **scenario construction** -- mapping
+(protocol, scenario, rate, seed) to a full ``ScenarioConfig`` at paper
+or bench scale. It never executes anything; the runner calls these
+factories, and the result store hashes their output to decide whether a
+stored point is still valid.
+
 Three mobility scenarios x eight source rates x two protocols, ten random
 placements each, 10 000 packets of 500 bytes per run, on 75 nodes over
 500 m x 300 m with 75 m range at 2 Mb/s.

@@ -20,7 +20,8 @@ ratios; both match the paper's captions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -70,6 +71,39 @@ class RunSummary:
     events_per_sec: Optional[float] = None
     #: Full telemetry report (see repro.sim.telemetry), JSON-serializable.
     telemetry: Optional[dict] = None
+
+    # -- stable serialization (the result store's record payload) ------
+    def to_dict(self) -> dict:
+        """JSON-serializable dict of every field. All metric fields are
+        plain Python ints/floats/None, so a ``json`` round trip through
+        :meth:`from_dict` reconstructs a bit-identical summary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSummary":
+        """Rebuild a summary from :meth:`to_dict` output.
+
+        Compatibility: unknown keys are ignored (records written by
+        newer code load under older code); fields this version added
+        with defaults fall back to those defaults; a payload missing a
+        *required* field raises ``ValueError`` naming it.
+        """
+        fields = dataclasses.fields(cls)
+        known = {f.name for f in fields}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        missing = [
+            f.name for f in fields
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+            and f.name not in kwargs
+        ]
+        if missing:
+            raise ValueError(
+                f"RunSummary payload missing required field(s) {missing}; "
+                f"the store record predates a schema change and must be "
+                f"re-run"
+            )
+        return cls(**kwargs)
 
 
 def summarize(

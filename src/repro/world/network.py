@@ -77,6 +77,20 @@ class ScenarioConfig:
     #: Protocol-config overrides (e.g. {"retry_limit": 4}).
     mac_overrides: dict = field(default_factory=dict)
 
+    #: Float-typed fields coerced in __post_init__ so a config built
+    #: with ``rate_pps=10`` hashes and compares identically to one
+    #: built with ``rate_pps=10.0`` (the result store keys points by a
+    #: hash of the whole config).
+    _FLOAT_FIELDS = ("width", "height", "radio_range", "min_speed",
+                     "max_speed", "pause_s", "rate_pps", "warmup_s",
+                     "drain_s", "bless_period_s", "bless_expiry_s", "ber")
+
+    def __post_init__(self):
+        for name in self._FLOAT_FIELDS:
+            value = getattr(self, name)
+            if type(value) is not float:
+                object.__setattr__(self, name, float(value))
+
     def variant(self, **changes) -> "ScenarioConfig":
         """A copy with fields replaced (sweep helper)."""
         return replace(self, **changes)

@@ -1,11 +1,15 @@
-"""Resumable experiment campaigns."""
+"""Resumable experiment campaigns over the on-disk result store."""
 
 import json
+import os
 
 import pytest
 
+import repro.experiments.runner as runner_module
 from repro.experiments.campaign import Campaign
 from repro.experiments.scenarios import scaled_scenario
+from repro.experiments.store import ResultStore, config_hash
+from repro.metrics.summary import RunSummary
 
 
 def tiny_config(protocol, scenario, rate, seed):
@@ -14,73 +18,207 @@ def tiny_config(protocol, scenario, rate, seed):
 
 
 def test_campaign_runs_and_persists(tmp_path):
-    path = tmp_path / "campaign.json"
+    path = tmp_path / "campaign"
     campaign = Campaign(str(path))
     results = campaign.run(["rmac"], ["stationary"], [10], [1, 2], tiny_config)
     assert len(results) == 1
     assert results[0].n_seeds == 2
-    assert path.exists()
-    stored = json.loads(path.read_text())
-    assert len(stored) == 2
+    assert (path / "results.jsonl").exists()
+    lines = (path / "results.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+    record = json.loads(lines[0])
+    assert record["status"] == "ok" and record["protocol"] == "rmac"
+    manifest = json.loads((path / "manifest.json").read_text())
+    assert manifest["seeds"] == [1, 2]
 
 
-def test_campaign_resume_skips_completed(tmp_path):
-    path = tmp_path / "campaign.json"
-    calls = []
-
-    def counting_config(protocol, scenario, rate, seed):
-        calls.append(seed)
-        return tiny_config(protocol, scenario, rate, seed)
-
-    Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1], counting_config)
-    first_calls = len(calls)
+def test_campaign_resume_skips_completed(tmp_path, monkeypatch):
+    path = str(tmp_path / "campaign")
+    Campaign(path).run(["rmac"], ["stationary"], [10], [1], tiny_config)
 
     # Resume with one more seed: only the new point actually simulates.
-    import repro.experiments.campaign as campaign_module
-
     executed = []
-    original = campaign_module.run_point
+    original = runner_module.run_point
 
     def spying_run_point(config):
         executed.append(config.seed)
         return original(config)
 
-    campaign_module.run_point = spying_run_point
-    try:
-        Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1, 2],
-                                counting_config)
-    finally:
-        campaign_module.run_point = original
+    monkeypatch.setattr(runner_module, "run_point", spying_run_point)
+    Campaign(path).run(["rmac"], ["stationary"], [10], [1, 2], tiny_config)
     assert executed == [2]
 
 
 def test_campaign_invalidates_on_config_change(tmp_path):
-    path = tmp_path / "campaign.json"
-    Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1], tiny_config)
+    path = str(tmp_path / "campaign")
+    Campaign(path).run(["rmac"], ["stationary"], [10], [1], tiny_config)
 
     def changed_config(protocol, scenario, rate, seed):
         return tiny_config(protocol, scenario, rate, seed).variant(n_packets=6)
 
-    results = Campaign(str(path)).run(["rmac"], ["stationary"], [10], [1],
-                                      changed_config)
+    results = Campaign(path).run(["rmac"], ["stationary"], [10], [1],
+                                 changed_config)
     assert results[0].per_seed[0].n_generated == 6
 
 
 def test_campaign_progress_callback(tmp_path):
     seen = []
-    Campaign(str(tmp_path / "c.json")).run(
+    path = str(tmp_path / "campaign")
+    Campaign(path).run(
         ["rmac"], ["stationary"], [10], [1], tiny_config,
-        progress=lambda key, done, total: seen.append((done, total)),
+        progress=lambda done, total, key, error: seen.append((done, total, error)),
     )
-    assert seen == [(1, 1)]
+    assert seen == [(1, 1, None)]
+    # On resume the cached point still reports progress.
+    seen.clear()
+    Campaign(path).run(
+        ["rmac"], ["stationary"], [10], [1], tiny_config,
+        progress=lambda done, total, key, error: seen.append((done, total, key)),
+    )
+    assert seen == [(1, 1, "rmac|stationary|10|1 (cached)")]
 
 
 def test_aggregate_partial_store(tmp_path):
-    path = tmp_path / "campaign.json"
-    campaign = Campaign(str(path))
+    path = str(tmp_path / "campaign")
+    campaign = Campaign(path)
     campaign.run(["rmac"], ["stationary"], [10], [1], tiny_config)
     # Ask for more seeds than stored: aggregates what exists.
     results = campaign.aggregate(["rmac"], ["stationary"], [10], [1, 2, 3])
     assert results[0].n_seeds == 1
     # Nothing stored for another protocol.
     assert campaign.aggregate(["bmmm"], ["stationary"], [10], [1]) == []
+
+
+# ---------------------------------------------------------------------------
+# Resume semantics: a campaign killed mid-run and re-invoked must
+# re-simulate only the unfinished points and produce bit-identical
+# aggregates to an uninterrupted run.
+# ---------------------------------------------------------------------------
+
+MATRIX = (["rmac"], ["stationary", "speed1"], [10], [1, 2])
+
+
+def test_killed_campaign_resumes_bit_identical(tmp_path, monkeypatch):
+    # Uninterrupted reference run (its own store).
+    reference = Campaign(str(tmp_path / "reference")).run(
+        *MATRIX, tiny_config)
+
+    # Crash (as a kill would) after 2 completed points.
+    original = runner_module.run_point
+    calls = []
+
+    def crashing_run_point(config):
+        if len(calls) == 2:
+            raise KeyboardInterrupt("simulated kill")
+        calls.append(config.seed)
+        return original(config)
+
+    path = str(tmp_path / "interrupted")
+    monkeypatch.setattr(runner_module, "run_point", crashing_run_point)
+    with pytest.raises(KeyboardInterrupt):
+        Campaign(path).run(*MATRIX, tiny_config)
+    monkeypatch.setattr(runner_module, "run_point", original)
+
+    # The two completed points are durably on disk.
+    assert len(Campaign(path)) == 2
+
+    # Re-invoke: only the two unfinished points simulate.
+    executed = []
+
+    def spying_run_point(config):
+        executed.append((config.mobile, config.seed))
+        return original(config)
+
+    monkeypatch.setattr(runner_module, "run_point", spying_run_point)
+    resumed = Campaign(path).run(*MATRIX, tiny_config)
+    assert len(executed) == 2
+    assert (False, 1) not in executed and (False, 2) not in executed
+
+    # Bit-identical per-seed summaries and aggregates: the JSON round
+    # trip through the store must not perturb a single float.
+    assert resumed == reference
+
+
+def test_failed_points_rerun_on_resume(tmp_path, monkeypatch):
+    path = str(tmp_path / "campaign")
+    original = runner_module.run_point
+
+    def failing_run_point(config):
+        if config.seed == 2:
+            raise RuntimeError("boom")
+        return original(config)
+
+    monkeypatch.setattr(runner_module, "run_point", failing_run_point)
+    results = Campaign(path).run(["rmac"], ["stationary"], [10], [1, 2],
+                                 tiny_config)
+    assert results[0].n_seeds == 1 and len(results[0].failures) == 1
+    store = ResultStore(path)
+    assert len(store) == 1 and len(store.failures()) == 1
+
+    # The failure is recorded but never treated as complete: resume
+    # re-runs exactly the failed seed.
+    executed = []
+
+    def spying_run_point(config):
+        executed.append(config.seed)
+        return original(config)
+
+    monkeypatch.setattr(runner_module, "run_point", spying_run_point)
+    results = Campaign(path).run(["rmac"], ["stationary"], [10], [1, 2],
+                                 tiny_config)
+    assert executed == [2]
+    assert results[0].n_seeds == 2 and not results[0].failures
+
+
+def test_campaign_status_reports_missing_and_stale(tmp_path):
+    path = str(tmp_path / "campaign")
+    campaign = Campaign(path)
+    campaign.run(["rmac"], ["stationary"], [10], [1, 2], tiny_config)
+    campaign.store.write_manifest({
+        "protocols": ["rmac"], "scenarios": ["stationary", "speed1"],
+        "rates": [10.0], "seeds": [1, 2],
+    })
+    status = campaign.status(tiny_config)
+    assert status["total"] == 4 and status["done"] == 2
+    assert status["missing"] == 2 and status["stale"] == 0
+
+    def changed(protocol, scenario, rate, seed):
+        return tiny_config(protocol, scenario, rate, seed).variant(n_packets=8)
+
+    status = campaign.status(changed)
+    assert status["done"] == 0 and status["stale"] == 2
+
+
+def test_legacy_json_store_migrates_in_place(tmp_path):
+    """A v0 single-file checkpoint upgrades without re-simulating."""
+    # Simulate the v0 format: {key: {fingerprint, summary}} in one file.
+    path = str(tmp_path / "campaign.json")
+    config = tiny_config("rmac", "stationary", 10, 1)
+    summary = runner_module.run_point(config)
+    from dataclasses import asdict
+    from repro.experiments.store import canonical_config_json
+    with open(path, "w") as fh:
+        json.dump({
+            "rmac|stationary|10|1": {
+                "fingerprint": canonical_config_json(config),
+                "summary": asdict(summary),
+            },
+        }, fh)
+
+    executed = []
+    original = runner_module.run_point
+
+    def spying_run_point(cfg):
+        executed.append(cfg.seed)
+        return original(cfg)
+
+    runner_module.run_point = spying_run_point
+    try:
+        results = Campaign(path).run(["rmac"], ["stationary"], [10], [1],
+                                     tiny_config)
+    finally:
+        runner_module.run_point = original
+    assert executed == []          # migrated point survived the resume
+    assert results[0].per_seed == (summary,)
+    assert os.path.isdir(path)     # the file became a directory
+    assert os.path.exists(os.path.join(path, "legacy.json"))

@@ -111,18 +111,52 @@ def test_parser_rejects_unknown_figure():
         build_parser().parse_args(["figure", "fig99"])
 
 
-def test_campaign_command(capsys, tmp_path, monkeypatch):
+def test_campaign_run_status_and_figure_from(capsys, tmp_path, monkeypatch):
     import repro.cli as cli
+    import repro.experiments.runner as runner_module
 
     monkeypatch.setitem(cli.FIGURE_SCALES, "small", (10, 4, (10,), (1,)))
-    store = tmp_path / "campaign.json"
-    code = main(["campaign", str(store), "--scale", "small",
+    store = tmp_path / "campaign"
+    code = main(["campaign", "run", "--out", str(store), "--scale", "small",
                  "--protocols", "rmac"])
     assert code == 0
     out = capsys.readouterr().out
     assert "fig7" in out and "campaign store" in out
-    assert store.exists()
-    # Resuming prints the same figures without re-simulating everything.
-    code = main(["campaign", str(store), "--scale", "small",
+    assert (store / "results.jsonl").exists()
+
+    # status: the manifest records the matrix, so totals are known.
+    code = main(["campaign", "status", "--out", str(store)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "3/3 points done (100%)" in out
+    assert "stationary" in out and "speed2" in out
+
+    # Resume: same figures, zero re-simulation.
+    def exploding_run_point(config):
+        raise AssertionError("resume must not simulate completed points")
+
+    monkeypatch.setattr(runner_module, "run_point", exploding_run_point)
+    code = main(["campaign", "run", "--out", str(store), "--scale", "small",
                  "--protocols", "rmac"])
     assert code == 0
+    assert "(cached)" in capsys.readouterr().out
+
+    # figure --from regenerates a figure from the store, no simulation.
+    code = main(["figure", "fig7", "--from", str(store)])
+    assert code == 0
+    assert "Packet Delivery Ratio" in capsys.readouterr().out
+
+    # validate --from reads the same store (rmac-only: paired claims n/a).
+    code = main(["validate", "--from", str(store)])
+    assert code in (0, 1)
+    assert "Paper-claim validation" in capsys.readouterr().out
+
+
+def test_campaign_status_requires_existing_store(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["campaign", "status", "--out", str(tmp_path / "nope")])
+
+
+def test_campaign_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign"])

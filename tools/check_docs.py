@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Docs-vs-CLI drift check.
+
+Extracts every ``repro`` / ``python -m repro`` invocation from fenced
+code blocks in the repository's markdown docs and asserts that the
+referenced subcommands, nested subcommands, flags and positional
+choices all exist in the live argparse tree (``repro.cli.build_parser``).
+No simulation runs — the check is pure parser introspection, cheap
+enough for CI on every push.
+
+Exit status: 0 when every documented command line parses, 1 when any
+references a subcommand or flag the CLI does not have (or when no
+commands were found at all, which would mean the extractor broke).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [FILE.md ...]
+
+With no arguments it checks README.md, EXPERIMENTS.md, DESIGN.md and
+docs/*.md relative to the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import shlex
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: A line (inside a fenced block) that invokes the repro CLI.
+_INVOCATION = re.compile(r"(?:python[\w.]*\s+-m\s+repro|^\s*\$?\s*repro)\s")
+
+
+def default_files(root: str = _REPO_ROOT) -> List[str]:
+    files = [os.path.join(root, name)
+             for name in ("README.md", "EXPERIMENTS.md", "DESIGN.md")]
+    files.extend(sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
+    return [f for f in files if os.path.exists(f)]
+
+
+def extract_commands(text: str) -> List[Tuple[int, List[str]]]:
+    """(line number, argv-after-'repro') for every CLI invocation inside
+    a fenced code block. Backslash continuations are joined; ``$``
+    prompts and ``#`` comments are stripped."""
+    commands: List[Tuple[int, List[str]]] = []
+    in_fence = False
+    pending: Optional[Tuple[int, str]] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            pending = None
+            continue
+        if not in_fence:
+            continue
+        if pending is not None:
+            start, joined = pending
+            line = joined + " " + stripped
+        else:
+            start, line = lineno, stripped
+        if line.endswith("\\"):
+            pending = (start, line[:-1].rstrip())
+            continue
+        pending = None
+        if not _INVOCATION.search(line):
+            continue
+        try:
+            tokens = shlex.split(line.lstrip("$ "), comments=True)
+        except ValueError:
+            continue
+        if "repro" not in tokens:
+            continue
+        argv = tokens[tokens.index("repro") + 1:]
+        if argv:
+            commands.append((start, argv))
+    return commands
+
+
+def _subparser_action(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    return None
+
+
+def _check_argv(argv: List[str], parser: argparse.ArgumentParser,
+                location: str, problems: List[str]) -> None:
+    """Walk one documented argv against the parser tree."""
+    path = "repro"
+    options: Dict[str, argparse.Action] = {}
+    positionals: List[argparse.Action] = []
+
+    def enter(p: argparse.ArgumentParser) -> None:
+        for action in p._actions:
+            for option in action.option_strings:
+                options[option] = action
+            if (not action.option_strings
+                    and not isinstance(action, argparse._SubParsersAction)):
+                positionals.append(action)
+
+    enter(parser)
+    subparsers = _subparser_action(parser)
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        i += 1
+        if token.startswith("--"):
+            name = token.split("=", 1)[0]
+            action = options.get(name)
+            if action is None:
+                problems.append(
+                    f"{location}: unknown flag {name!r} for '{path}'")
+            elif action.nargs != 0 and "=" not in token:
+                i += 1  # the flag's value
+        elif subparsers is not None and token in subparsers.choices:
+            path += f" {token}"
+            child = subparsers.choices[token]
+            enter(child)
+            subparsers = _subparser_action(child)
+        elif subparsers is not None and not positionals:
+            problems.append(
+                f"{location}: unknown subcommand {token!r} for '{path}' "
+                f"(choices: {', '.join(sorted(subparsers.choices))})")
+            return
+        elif positionals:
+            action = positionals.pop(0)
+            if action.choices is not None and token not in action.choices:
+                problems.append(
+                    f"{location}: invalid value {token!r} for '{path} "
+                    f"{action.dest}' (choices: "
+                    f"{', '.join(sorted(map(str, action.choices)))})")
+        # Anything else is a flag's already-consumed value or free text.
+
+
+def check_text(text: str, parser: argparse.ArgumentParser,
+               filename: str) -> Tuple[List[str], int]:
+    """(problems, command count) for one document."""
+    problems: List[str] = []
+    commands = extract_commands(text)
+    for lineno, argv in commands:
+        _check_argv(argv, parser, f"{filename}:{lineno}", problems)
+    return problems, len(commands)
+
+
+def check_files(files: List[str],
+                parser: Optional[argparse.ArgumentParser] = None,
+                ) -> Tuple[List[str], int]:
+    if parser is None:
+        from repro.cli import build_parser
+        parser = build_parser()
+    all_problems: List[str] = []
+    total = 0
+    for path in files:
+        with open(path) as fh:
+            text = fh.read()
+        problems, count = check_text(text, parser,
+                                     os.path.relpath(path, _REPO_ROOT))
+        all_problems.extend(problems)
+        total += count
+    return all_problems, total
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    files = args or default_files()
+    problems, total = check_files(files)
+    if total == 0:
+        print("docs check: no repro commands found in any doc -- the "
+              "extractor or the docs are broken", file=sys.stderr)
+        return 1
+    for problem in problems:
+        print(f"docs check: {problem}", file=sys.stderr)
+    if problems:
+        print(f"docs check: {len(problems)} stale command reference(s) "
+              f"across {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"docs check: {total} repro command(s) across {len(files)} "
+          f"file(s) all match the CLI")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+    sys.exit(main())
