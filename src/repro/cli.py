@@ -29,7 +29,16 @@ from repro.experiments.scenarios import PAPER_RATES, SCENARIOS, paper_scenario, 
 from repro.world.network import PROTOCOLS, ScenarioConfig, build_network
 
 
+def _load_faults(path: Optional[str]):
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    use_oracle = bool(args.oracle or args.oracle_report)
     config = ScenarioConfig(
         protocol=args.protocol,
         n_nodes=args.nodes,
@@ -43,6 +52,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         collect_telemetry=bool(args.telemetry),
         trace=bool(args.trace_jsonl),
+        faults=_load_faults(args.faults),
+        oracle=use_oracle,
     )
     tracer = None
     if args.trace_jsonl:
@@ -63,6 +74,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{summary.events_per_sec:,.0f} events/s -> {args.telemetry}")
     if args.trace_jsonl:
         print(f"trace: {len(network.testbed.tracer)} events -> {args.trace_jsonl}")
+    oracle_failed = False
+    if use_oracle:
+        report = summary.oracle_report
+        print(f"oracle: {report['total']} violation(s) over "
+              f"{report['events_seen']} trace events")
+        for violation in report["violations"][:10]:
+            print(f"  [{violation['rule']}] t={violation['time']} "
+                  f"node {violation['node']}: {violation['message']}")
+        if args.oracle_report:
+            import json
+
+            with open(args.oracle_report, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"oracle report -> {args.oracle_report}")
+        oracle_failed = report["total"] > 0
     rows = [{"metric": k, "value": v} for k, v in [
         ("delivery ratio", summary.delivery_ratio),
         ("avg delay (s)", summary.avg_delay_s),
@@ -74,7 +101,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]]
     print(format_table(rows, title=f"{args.protocol}: {args.nodes} nodes, "
                                    f"{args.rate} pkt/s, seed {args.seed}"))
-    return 0
+    return 1 if oracle_failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -157,14 +184,23 @@ FIGURE_SCALES = {
 }
 
 
-def _scale_make_config(scale: str):
-    """The make_config factory for one --scale choice."""
+def _scale_make_config(scale: str, faults=None, oracle: bool = False):
+    """The make_config factory for one --scale choice.
+
+    ``faults`` (a FaultPlan) and ``oracle`` apply to every point; both
+    live on the ScenarioConfig, so they flow into each point's
+    config_hash and the store resumes faulted campaigns exactly.
+    """
     def make_config(protocol, scenario, rate, seed):
         if scale == "paper":
-            return paper_scenario(protocol, scenario, rate, seed)
-        n_nodes, n_packets, _rates, _seeds = FIGURE_SCALES[scale]
-        return scaled_scenario(protocol, scenario, rate, seed,
-                               n_packets=n_packets, n_nodes=n_nodes)
+            config = paper_scenario(protocol, scenario, rate, seed)
+        else:
+            n_nodes, n_packets, _rates, _seeds = FIGURE_SCALES[scale]
+            config = scaled_scenario(protocol, scenario, rate, seed,
+                                     n_packets=n_packets, n_nodes=n_nodes)
+        if faults is not None or oracle:
+            config = config.variant(faults=faults, oracle=oracle)
+        return config
     return make_config
 
 
@@ -267,10 +303,17 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             status = f"FAILED ({error})" if error else "ok"
             print(f"[{done}/{total}] {key} {status}", flush=True)
         options["progress"] = default_progress
+    faults = _load_faults(args.faults)
+    manifest_extra = {"scale": args.scale}
+    if faults is not None:
+        manifest_extra["faults"] = faults.to_dict()
+    if args.oracle:
+        manifest_extra["oracle"] = True
     results = campaign.run(
         args.protocols.split(","), list(SCENARIOS), list(rates),
-        list(seeds), _scale_make_config(args.scale),
-        manifest_extra={"scale": args.scale},
+        list(seeds),
+        _scale_make_config(args.scale, faults=faults, oracle=args.oracle),
+        manifest_extra=manifest_extra,
         **options,
     )
     for figure in sorted(FIGURES):
@@ -290,7 +333,15 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     manifest = campaign.store.manifest() or {}
     make_config = None
     if manifest.get("scale") in FIGURE_SCALES:
-        make_config = _scale_make_config(manifest["scale"])
+        faults = None
+        if manifest.get("faults") is not None:
+            from repro.faults import FaultPlan
+
+            faults = FaultPlan.from_dict(manifest["faults"])
+        make_config = _scale_make_config(
+            manifest["scale"], faults=faults,
+            oracle=bool(manifest.get("oracle")),
+        )
     status = campaign.status(make_config)
     print(render_status(status, title=f"campaign store: {campaign.path}"),
           end="")
@@ -318,6 +369,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-jsonl", metavar="OUT.jsonl",
                      help="stream the full protocol trace to a JSONL file "
                           "(bounded memory, any run length)")
+    run.add_argument("--faults", metavar="PLAN.json",
+                     help="inject faults from a JSON fault plan (node "
+                          "crashes, link fades, corruption windows, "
+                          "replacement bit-error model)")
+    run.add_argument("--oracle", action="store_true",
+                     help="check protocol invariants online against the "
+                          "trace stream; exits 1 if any are violated")
+    run.add_argument("--oracle-report", metavar="OUT.json",
+                     help="write the oracle's violation report as JSON "
+                          "(implies --oracle)")
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(
@@ -381,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
                               default="small")
     campaign_run.add_argument("--protocols", default="rmac,bmmm",
                               help="comma-separated protocol names")
+    campaign_run.add_argument("--faults", metavar="PLAN.json",
+                              help="inject the same fault plan into every "
+                                   "point (part of each point's config "
+                                   "hash, so resume stays exact)")
+    campaign_run.add_argument("--oracle", action="store_true",
+                              help="attach the invariant oracle to every "
+                                   "point; per-point violation reports "
+                                   "are persisted in the store")
     _add_sweep_flags(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
 

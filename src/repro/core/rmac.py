@@ -256,6 +256,12 @@ class RmacProtocol(MacProtocol):
         if txn.attempts > 0:
             self.stats.retransmissions += 1
         txn.attempts += 1
+        if self.tracer.enabled:
+            # Guarded: the tuple() copy is only worth making when traced.
+            self.tracer.emit(
+                self.sim.now, self.node_id, "mrts-tx",
+                receivers=tuple(txn.pending), seq=txn.seq, attempt=txn.attempts,
+            )
         self.stats.mrts_transmissions += 1
         self.stats.record_mrts_length(mrts.size_bytes)
         self.stats.count_tx("MRTS")
@@ -283,6 +289,11 @@ class RmacProtocol(MacProtocol):
         assert txn is not None
         if detected:
             # C18: at least one receiver is ready; send the data frame.
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, self.node_id, "rbt-detected",
+                    window_start=self._rbt_window_start,
+                )
             frame = DataFrame(
                 src=self.node_id,
                 dst=BROADCAST,
@@ -294,6 +305,11 @@ class RmacProtocol(MacProtocol):
             )
             self._set_state(RmacState.TX_RDATA)
             self.stats.count_tx("RDATA")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, self.node_id, "rdata-tx",
+                    seq=txn.seq, n_pending=len(txn.pending),
+                )
             self._current_tx = self.radio.transmit(frame)
         else:
             # C12/C15: nobody heard the MRTS; back off and retransmit.
@@ -376,6 +392,13 @@ class RmacProtocol(MacProtocol):
             self._txn = None
             if not txn.failed:
                 self.stats.packets_delivered += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, self.node_id, "reliable-done",
+                    requested=tuple(txn.request.receivers),
+                    acked=tuple(txn.acked), failed=tuple(txn.failed),
+                    dropped=txn.drop_counted,
+                )
             self._complete(
                 txn.request,
                 acked=tuple(txn.acked),
@@ -477,6 +500,11 @@ class RmacProtocol(MacProtocol):
     def _handle_mrts(self, mrts: MrtsFrame) -> None:
         if self.node_id not in mrts.receivers:
             return  # no NAV in RMAC: other nodes simply ignore the MRTS
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, self.node_id, "mrts-rx",
+                src=mrts.transmitter, index=mrts.index_of(self.node_id),
+            )
         if self.state not in (RmacState.IDLE, RmacState.BACKOFF):
             return  # busy as a sender or already committed as a receiver
         self._rx_mrts = mrts
@@ -507,7 +535,10 @@ class RmacProtocol(MacProtocol):
         l_abt = self.config.l_abt
         # Step 4: reply an ABT in the slot given by the MRTS ordering.
         delay = index * l_abt
-        self.tracer.emit(self.sim.now, self.node_id, "abt-scheduled", index=index)
+        self.tracer.emit(
+            self.sim.now, self.node_id, "abt-scheduled",
+            index=index, src=frame.src, slot_end=self.sim.now + delay + l_abt,
+        )
         pulse = _AbtPulse(self.radio, l_abt)
         if delay == 0:
             pulse()

@@ -66,9 +66,33 @@ SCHEMA_VERSION = 1
 PointKey = Tuple[str, str, float, int]
 
 
+def _canonical_default(obj) -> object:
+    """JSON fallback for non-dataclass config members.
+
+    Objects exposing ``to_dict`` (the ``BitErrorModel`` inside a
+    ``FaultPlan``) serialize through their stable parameter dict --
+    ``str()`` would embed a memory address and break hash determinism.
+    """
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return str(obj)
+
+
 def canonical_config_json(config) -> str:
-    """The canonical JSON form of a ScenarioConfig (hashing input)."""
-    return json.dumps(asdict(config), sort_keys=True, default=str)
+    """The canonical JSON form of a ScenarioConfig (hashing input).
+
+    Fields still at the value they had before they existed (``faults``
+    is None, ``oracle`` is False) are dropped, so every hash computed
+    before those fields were added remains valid and stored campaign
+    points survive the schema growth without re-simulating.
+    """
+    payload = asdict(config)
+    if payload.get("faults", "absent") is None:
+        del payload["faults"]
+    if payload.get("oracle", "absent") is False:
+        del payload["oracle"]
+    return json.dumps(payload, sort_keys=True, default=_canonical_default)
 
 
 def hash_canonical(canonical: str) -> str:

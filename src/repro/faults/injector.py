@@ -1,0 +1,115 @@
+"""The compiled runtime form of a fault plan.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into integer-ns window tables the PHY hot paths can consult cheaply:
+
+* per-node crash windows (sorted tuples, linear scan -- plans hold a
+  handful of faults, not thousands);
+* per-directed-link fade windows;
+* global corruption windows.
+
+The data channel calls :meth:`suppresses_delivery` /
+:meth:`corrupts_arrival` once per arrival-end and :meth:`node_down`
+once per arrival-start; the busy-tone channels call :meth:`node_down`
+once per emission start. Channels built without a plan hold ``None``
+and pay a single ``is None`` test instead.
+
+Every injector decision that changes behavior is traced (kinds
+``fault-rx-dropped``, ``fault-link-faded``, ``fault-corruption``,
+``fault-tone-suppressed``) so the invariant oracle and post-mortems can
+tell injected losses from protocol losses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sim.units import SEC
+
+#: A half-open window [start, end) in integer ns; end = None means open.
+_Window = Tuple[int, Optional[int]]
+
+
+def _in_windows(windows: Tuple[_Window, ...], t: int) -> bool:
+    for start, end in windows:
+        if t >= start and (end is None or t < end):
+            return True
+    return False
+
+
+def _ns(seconds: float) -> int:
+    return round(seconds * SEC)
+
+
+class FaultInjector:
+    """Window tables compiled from a :class:`FaultPlan` (times in ns)."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        crash: Dict[int, List[_Window]] = {}
+        for c in plan.crashes:
+            crash.setdefault(c.node, []).append(
+                (_ns(c.at_s), _ns(c.recover_s) if c.recover_s is not None else None))
+        self._crash: Dict[int, Tuple[_Window, ...]] = {
+            node: tuple(sorted(w, key=lambda x: x[0])) for node, w in crash.items()
+        }
+        fade: Dict[Tuple[int, int], List[_Window]] = {}
+        for f in plan.fades:
+            window = (_ns(f.start_s), _ns(f.end_s) if f.end_s is not None else None)
+            fade.setdefault((f.src, f.dst), []).append(window)
+            if f.bidirectional:
+                fade.setdefault((f.dst, f.src), []).append(window)
+        self._fade: Dict[Tuple[int, int], Tuple[_Window, ...]] = {
+            link: tuple(sorted(w, key=lambda x: x[0])) for link, w in fade.items()
+        }
+        self._corruption: Tuple[Tuple[int, int, Optional[frozenset], float], ...] = tuple(
+            (_ns(w.start_s), _ns(w.end_s),
+             frozenset(w.nodes) if w.nodes is not None else None,
+             w.probability)
+            for w in plan.corruption
+        )
+
+    # ------------------------------------------------------------------
+    def node_down(self, node: int, t: int) -> bool:
+        """True while ``node``'s radio is crashed (deaf and mute)."""
+        windows = self._crash.get(node)
+        return windows is not None and _in_windows(windows, t)
+
+    def link_faded(self, src: int, dst: int, t: int) -> bool:
+        """True while the directed link ``src -> dst`` is in a deep fade."""
+        windows = self._fade.get((src, dst))
+        return windows is not None and _in_windows(windows, t)
+
+    # ------------------------------------------------------------------
+    # Data-channel hooks
+    # ------------------------------------------------------------------
+    def suppresses_delivery(self, sender: int, node: int, t: int) -> bool:
+        """True if the arrival must produce *no* callback at ``node``:
+        either end of the link is crashed, so to the receiver the frame
+        never existed (a dead transmitter emits nothing; a dead receiver
+        hears nothing)."""
+        return self.node_down(node, t) or self.node_down(sender, t)
+
+    def corrupts_arrival(self, sender: int, node: int, t: int,
+                         rng: random.Random) -> bool:
+        """True if a (deliverable) arrival at ``node`` is corrupted by a
+        link fade or an active corruption window."""
+        if self._fade and self.link_faded(sender, node, t):
+            return True
+        for start, end, nodes, probability in self._corruption:
+            if start <= t < end and (nodes is None or node in nodes):
+                if probability >= 1.0 or rng.random() < probability:
+                    return True
+        return False
+
+    @property
+    def affects_data(self) -> bool:
+        """True if any fault can touch the data channel (everything can)."""
+        return bool(self._crash or self._fade or self._corruption)
+
+    @property
+    def affects_tones(self) -> bool:
+        """True if any fault can touch tone emission (only crashes do)."""
+        return bool(self._crash)

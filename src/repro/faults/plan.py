@@ -1,0 +1,173 @@
+"""The declarative fault plan.
+
+A :class:`FaultPlan` is pure data: frozen dataclasses with times in
+*seconds* (matching ``ScenarioConfig``'s float-seconds convention), a
+stable ``to_dict``/``from_dict`` round trip, and value equality. It
+compiles into a :class:`~repro.faults.injector.FaultInjector` (times in
+integer ns) when a network is built; nothing here touches the simulator.
+
+Because ``ScenarioConfig`` embeds the plan, ``dataclasses.asdict`` must
+produce deterministic JSON for the result store's ``config_hash``. The
+only non-dataclass member is the optional
+:class:`~repro.phy.error.BitErrorModel`, which the store's canonical
+encoder serializes through its ``to_dict`` (parameters only, no dynamic
+state) -- see :func:`repro.experiments.store.canonical_config_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.phy.error import BitErrorModel, error_model_from_dict
+
+
+def _positive_window(start_s: float, end_s: Optional[float], what: str) -> None:
+    if start_s < 0:
+        raise ValueError(f"{what}: negative start time {start_s}")
+    if end_s is not None and end_s <= start_s:
+        raise ValueError(f"{what}: window [{start_s}, {end_s}] is empty")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One crash window: the node's radio is deaf and mute throughout.
+
+    ``recover_s=None`` means the node never comes back. The node's MAC
+    and timers keep executing (a crashed *radio*, not a halted CPU --
+    the deterministic choice: the event pattern of the rest of the run
+    does not depend on unwinding a node's pending events), but no frame
+    or tone it emits reaches anyone and nothing is delivered to it.
+    """
+
+    node: int
+    at_s: float
+    recover_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"invalid node id {self.node}")
+        _positive_window(self.at_s, self.recover_s, f"crash of node {self.node}")
+
+
+@dataclass(frozen=True)
+class LinkFade:
+    """A deep fade on one link: frames crossing it arrive corrupted.
+
+    Carrier is still sensed (the energy arrives; it is just undecodable),
+    so fades stress exactly the feedback paths -- a faded MRTS raises no
+    RBT, a faded DATA draws no ABT. ``bidirectional=True`` (default)
+    fades both directions; otherwise only ``src -> dst``.
+    """
+
+    src: int
+    dst: int
+    start_s: float
+    end_s: Optional[float] = None
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0 or self.src == self.dst:
+            raise ValueError(f"invalid link {self.src}->{self.dst}")
+        _positive_window(self.start_s, self.end_s,
+                         f"fade {self.src}->{self.dst}")
+
+
+@dataclass(frozen=True)
+class CorruptionWindow:
+    """A timed window in which arriving frames are corrupted.
+
+    ``nodes=None`` hits every receiver; otherwise only the listed ones.
+    ``probability`` < 1 corrupts each arrival independently with that
+    probability, drawn from the channel's seeded RNG stream (so replays
+    are bit-identical).
+    """
+
+    start_s: float
+    end_s: float
+    nodes: Optional[Tuple[int, ...]] = None
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        _positive_window(self.start_s, self.end_s, "corruption window")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"corruption probability must be in (0, 1], got {self.probability}")
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(int(n) for n in self.nodes))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault of one run, declaratively.
+
+    ``error_model`` (optional) replaces the scenario's channel bit-error
+    model -- the hook for :class:`~repro.phy.error.GilbertElliott`
+    bursts. Each built network reconstructs a fresh instance from the
+    model's parameters, so a stateful model never leaks state across
+    runs (seeded replay stays bit-identical).
+    """
+
+    crashes: Tuple[NodeCrash, ...] = ()
+    fades: Tuple[LinkFade, ...] = ()
+    corruption: Tuple[CorruptionWindow, ...] = ()
+    error_model: Optional[BitErrorModel] = None
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from hand-built plans and from_dict alike.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "fades", tuple(self.fades))
+        object.__setattr__(self, "corruption", tuple(self.corruption))
+
+    def __bool__(self) -> bool:
+        return bool(self.crashes or self.fades or self.corruption
+                    or self.error_model is not None)
+
+    # -- serialization (the CLI's PLAN.json format) --------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stable keys; defaults included)."""
+        return {
+            "crashes": [
+                {"node": c.node, "at_s": c.at_s, "recover_s": c.recover_s}
+                for c in self.crashes
+            ],
+            "fades": [
+                {"src": f.src, "dst": f.dst, "start_s": f.start_s,
+                 "end_s": f.end_s, "bidirectional": f.bidirectional}
+                for f in self.fades
+            ],
+            "corruption": [
+                {"start_s": w.start_s, "end_s": w.end_s,
+                 "nodes": list(w.nodes) if w.nodes is not None else None,
+                 "probability": w.probability}
+                for w in self.corruption
+            ],
+            "error_model": (self.error_model.to_dict()
+                            if self.error_model is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or hand-written
+        JSON; every section is optional)."""
+        model = payload.get("error_model")
+        return cls(
+            crashes=tuple(NodeCrash(**c) for c in payload.get("crashes", ())),
+            fades=tuple(LinkFade(**f) for f in payload.get("fades", ())),
+            corruption=tuple(
+                CorruptionWindow(
+                    start_s=w["start_s"], end_s=w["end_s"],
+                    nodes=tuple(w["nodes"]) if w.get("nodes") is not None else None,
+                    probability=w.get("probability", 1.0),
+                )
+                for w in payload.get("corruption", ())
+            ),
+            error_model=error_model_from_dict(model) if model else None,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file (the ``--faults PLAN.json`` path)."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

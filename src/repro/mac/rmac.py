@@ -1,0 +1,18 @@
+"""RMAC under the MAC package: a re-export of :mod:`repro.core.rmac`.
+
+The protocol engine has always lived in :mod:`repro.core` (the paper's
+contribution gets its own package), but RMAC *is* a MAC protocol and
+callers comparing protocols naturally import them side by side::
+
+    from repro.mac.bmmm import BmmmProtocol
+    from repro.mac.rmac import RmacProtocol
+
+Both module paths resolve to the same classes; ``repro.core.rmac``
+remains the canonical home and keeps working unchanged.
+"""
+
+from repro.core.config import RmacConfig
+from repro.core.rmac import RmacProtocol
+from repro.core.states import RmacState
+
+__all__ = ["RmacConfig", "RmacProtocol", "RmacState"]

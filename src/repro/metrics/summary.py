@@ -71,6 +71,12 @@ class RunSummary:
     events_per_sec: Optional[float] = None
     #: Full telemetry report (see repro.sim.telemetry), JSON-serializable.
     telemetry: Optional[dict] = None
+    # --- invariant oracle (None unless the run attached it) ------------
+    #: Total invariant violations the oracle counted (0 = clean run).
+    oracle_violations: Optional[int] = None
+    #: Full oracle report (see repro.oracle), JSON-serializable:
+    #: per-rule counts plus a bounded sample of full violations.
+    oracle_report: Optional[dict] = None
 
     # -- stable serialization (the result store's record payload) ------
     def to_dict(self) -> dict:
@@ -111,11 +117,15 @@ def summarize(
     metrics: MetricsCollector,
     stats: Sequence[MacStats],
     telemetry=None,
+    oracle: Optional[dict] = None,
 ) -> RunSummary:
     """Aggregate one run's collector + per-node MAC stats.
 
     ``telemetry`` is an optional :class:`~repro.sim.telemetry.TelemetryReport`
     surfacing the run's event-loop throughput alongside its metrics.
+    ``oracle`` is an optional :meth:`repro.oracle.InvariantOracle.report`
+    dict; its violation count also lands in the telemetry dict (when
+    both are collected) so operational dashboards see one payload.
     """
     forwarders = [s for s in stats if s.packets_offered > 0]
 
@@ -132,6 +142,9 @@ def summarize(
     abort_ratios = [r for r in (s.abort_ratio() for s in forwarders) if r is not None]
 
     mean_delay = metrics.mean_delay_ns()
+    telemetry_dict = telemetry.to_dict() if telemetry is not None else None
+    if telemetry_dict is not None and oracle is not None:
+        telemetry_dict["oracle_violations"] = oracle["total"]
     return RunSummary(
         protocol=protocol,
         n_nodes=len(stats),
@@ -155,5 +168,7 @@ def summarize(
         events_processed=telemetry.events if telemetry is not None else None,
         wall_time_s=telemetry.wall_s if telemetry is not None else None,
         events_per_sec=telemetry.events_per_sec if telemetry is not None else None,
-        telemetry=telemetry.to_dict() if telemetry is not None else None,
+        telemetry=telemetry_dict,
+        oracle_violations=oracle["total"] if oracle is not None else None,
+        oracle_report=oracle if oracle is not None else None,
     )

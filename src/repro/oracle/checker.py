@@ -1,0 +1,321 @@
+"""Online invariant checking over the trace stream.
+
+The oracle consumes the structured events the protocol engines already
+emit (plus a handful added for exactly this purpose: ``mrts-tx``,
+``mrts-rx``, ``rbt-detected``, ``rdata-tx``, ``reliable-done``) and
+flags states the paper's protocol description forbids. Rules:
+
+``rbt-unsolicited``
+    A receiver raised its RBT (``rbt-on-rx``) without having decoded, at
+    that same instant, an MRTS naming it (Section 3.3.2 step 2: the RBT
+    is a *response* to a correctly received MRTS).
+
+``abt-slot-conflict``
+    Two receivers of one sender's transaction claimed the same ABT slot
+    index. The MRTS receiver list orders the slots; distinct receivers
+    must compute distinct indices (Section 3.3.2 step 4).
+
+``rdata-without-rbt``
+    A sender transmitted reliable DATA without having detected, at that
+    same instant, a qualifying RBT presence in its ``Twf_rbt`` window
+    (Section 3.3.2 step 5: no RBT means nobody is protected -- the
+    sender must back off, not transmit).
+
+``abt-skipped``
+    A receiver that accepted reliable DATA and scheduled its ABT reply
+    (``abt-scheduled``) never emitted an ABT overlapping its slot. A
+    healthy node always answers; only an injected fault (or a protocol
+    bug) leaves the slot silent.
+
+``reliable-outcome``
+    A completed Reliable Send (``reliable-done``) whose bookkeeping is
+    inconsistent: acked and failed do not partition the requested
+    receiver set, or a failure was recorded without the retry cap having
+    been exhausted (no ``dropped`` mark).
+
+Violations carry the rule id, the sim time (ns), the offending node and
+a human-readable message; :meth:`InvariantOracle.report` aggregates
+per-rule counts and retains a bounded sample of full violations.
+
+False-positive discipline: every rule is *local* to events one node
+emits at one instant, or uses explicit interval overlap (``abt-skipped``
+tracks actual ABT emission intervals, so the paper's "mixed-up ABT"
+overlap phenomenon -- a previous pulse still covering the next slot --
+does not trip it). Fault-free paper scenarios must report zero
+violations; the CI oracle smoke job enforces that.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.trace import TraceEvent, Tracer
+
+#: Rule identifiers, in documentation order.
+RULES = (
+    "rbt-unsolicited",
+    "abt-slot-conflict",
+    "rdata-without-rbt",
+    "abt-skipped",
+    "reliable-outcome",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    rule: str
+    time: int
+    node: int
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "time": self.time,
+            "node": self.node,
+            "message": self.message,
+            "detail": dict(self.detail),
+        }
+
+
+class InvariantOracle:
+    """A tracer subscriber that checks protocol invariants online.
+
+    Attach with :meth:`attach` (chains onto any existing ``tracer.sink``
+    and enables the tracer); call :meth:`finish` after the run to flush
+    deadline-based checks; read :attr:`violations` or :meth:`report`.
+
+    Detached cost is zero -- an unattached oracle touches nothing, and a
+    run without ``--oracle`` never constructs one.
+    """
+
+    #: Full violations retained beyond per-rule counts (bounded memory).
+    MAX_RECORDED = 100
+
+    def __init__(self, max_recorded: int = MAX_RECORDED):
+        self.max_recorded = max_recorded
+        self.violations: List[Violation] = []
+        self.counts: Dict[str, int] = {rule: 0 for rule in RULES}
+        self.events_seen = 0
+        self._last_time = 0
+        # R1: node -> time of the last MRTS it decoded naming it.
+        self._mrts_rx_at: Dict[int, int] = {}
+        # R2: sender -> {slot index -> claiming node} for the live chunk.
+        self._slots: Dict[int, Dict[int, int]] = {}
+        # R3: sender -> time of its last qualifying-RBT detection.
+        self._rbt_detected_at: Dict[int, int] = {}
+        # R4: per-node ABT emission intervals -- the open emission start
+        # and a short history of closed (start, end) pairs. Slots span a
+        # few tens of microseconds, so a tiny history suffices.
+        self._abt_open: Dict[int, int] = {}
+        self._abt_closed: Dict[int, Deque[Tuple[int, int]]] = {}
+        # R4: min-heap of (deadline, seq, node, sched_time, src, index).
+        self._pending_abt: List[Tuple[int, int, int, int, int, int]] = []
+        self._pending_seq = 0
+        self._handlers: Dict[str, Callable[[TraceEvent], None]] = {
+            "mrts-tx": self._on_mrts_tx,
+            "mrts-rx": self._on_mrts_rx,
+            "rbt-on-rx": self._on_rbt_on_rx,
+            "rbt-detected": self._on_rbt_detected,
+            "rdata-tx": self._on_rdata_tx,
+            "abt-scheduled": self._on_abt_scheduled,
+            "abt-on": self._on_abt_on,
+            "abt-off": self._on_abt_off,
+            "reliable-done": self._on_reliable_done,
+        }
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, tracer: Tracer) -> "InvariantOracle":
+        """Subscribe to ``tracer``, chaining any existing sink, and
+        enable it (a run built purely for the oracle uses a
+        :class:`~repro.sim.trace.NullBuffer` backend so nothing is
+        retained)."""
+        tracer.enabled = True
+        previous = tracer.sink
+        if previous is None:
+            tracer.sink = self.on_event
+        else:
+            def chained(event: TraceEvent,
+                        _prev: Callable[[TraceEvent], None] = previous,
+                        _next: Callable[[TraceEvent], None] = self.on_event) -> None:
+                _prev(event)
+                _next(event)
+            tracer.sink = chained
+        return self
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        """The tracer sink: dispatch one event through the rule set."""
+        self.events_seen += 1
+        time = event.time
+        if time > self._last_time:
+            self._last_time = time
+        pending = self._pending_abt
+        if pending and pending[0][0] < time:
+            self._flush_deadlines(time)
+        handler = self._handlers.get(event.kind)
+        if handler is not None:
+            handler(event)
+
+    def finish(self) -> None:
+        """Flush deadline checks after the run. Only slots whose
+        deadline lies strictly before the last traced event are
+        resolved; a slot the simulation ended inside is inconclusive,
+        not a violation."""
+        self._flush_deadlines(self._last_time)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    def _violate(self, rule: str, time: int, node: int, message: str,
+                 **detail: object) -> None:
+        self.counts[rule] += 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(Violation(rule, time, node, message, dict(detail)))
+
+    def _on_mrts_rx(self, event: TraceEvent) -> None:
+        self._mrts_rx_at[event.node] = event.time
+
+    def _on_rbt_on_rx(self, event: TraceEvent) -> None:
+        # R1: the RBT must answer an MRTS decoded at this very instant.
+        if self._mrts_rx_at.get(event.node) != event.time:
+            self._violate(
+                "rbt-unsolicited", event.time, event.node,
+                f"node {event.node} raised RBT without a same-instant MRTS "
+                f"naming it",
+                index=event.detail.get("index"),
+            )
+
+    def _on_mrts_tx(self, event: TraceEvent) -> None:
+        # A new MRTS opens a new slot assignment for this sender.
+        self._slots[event.node] = {}
+
+    def _on_abt_scheduled(self, event: TraceEvent) -> None:
+        detail = event.detail
+        index = detail.get("index")
+        src = detail.get("src")
+        slot_end = detail.get("slot_end")
+        if src is not None and index is not None:
+            slots = self._slots.setdefault(src, {})
+            claimed = slots.get(index)
+            if claimed is not None and claimed != event.node:
+                # R2: two receivers computed the same slot.
+                self._violate(
+                    "abt-slot-conflict", event.time, event.node,
+                    f"nodes {claimed} and {event.node} both claim ABT slot "
+                    f"{index} of sender {src}",
+                    index=index, src=src, other=claimed,
+                )
+            slots[index] = event.node
+        if slot_end is not None:
+            self._pending_seq += 1
+            heapq.heappush(
+                self._pending_abt,
+                (slot_end, self._pending_seq, event.node, event.time,
+                 -1 if src is None else src, -1 if index is None else index),
+            )
+
+    def _on_rbt_detected(self, event: TraceEvent) -> None:
+        self._rbt_detected_at[event.node] = event.time
+
+    def _on_rdata_tx(self, event: TraceEvent) -> None:
+        # R3: reliable DATA only on the heels of a qualifying RBT.
+        if self._rbt_detected_at.get(event.node) != event.time:
+            self._violate(
+                "rdata-without-rbt", event.time, event.node,
+                f"node {event.node} transmitted reliable DATA without a "
+                f"same-instant RBT detection",
+                seq=event.detail.get("seq"),
+            )
+
+    def _on_abt_on(self, event: TraceEvent) -> None:
+        self._abt_open[event.node] = event.time
+
+    def _on_abt_off(self, event: TraceEvent) -> None:
+        start = self._abt_open.pop(event.node, None)
+        if start is None:
+            return
+        history = self._abt_closed.get(event.node)
+        if history is None:
+            history = self._abt_closed[event.node] = deque(maxlen=8)
+        history.append((start, event.time))
+
+    def _on_reliable_done(self, event: TraceEvent) -> None:
+        detail = event.detail
+        requested = set(detail.get("requested", ()))
+        acked = set(detail.get("acked", ()))
+        failed = set(detail.get("failed", ()))
+        dropped = bool(detail.get("dropped"))
+        if (acked | failed) != requested or (acked & failed):
+            # R5a: the outcome must partition the requested set.
+            self._violate(
+                "reliable-outcome", event.time, event.node,
+                f"node {event.node} completed a Reliable Send whose "
+                f"acked/failed sets do not partition the requested set",
+                requested=sorted(requested), acked=sorted(acked),
+                failed=sorted(failed),
+            )
+        elif failed and not dropped:
+            # R5b: failure is only legal after the retry cap is spent.
+            self._violate(
+                "reliable-outcome", event.time, event.node,
+                f"node {event.node} recorded failed receivers without "
+                f"exhausting the retry cap",
+                failed=sorted(failed),
+            )
+
+    # ------------------------------------------------------------------
+    # R4 deadline machinery
+    # ------------------------------------------------------------------
+    def _emitted_in(self, node: int, lo: int, hi: int) -> bool:
+        """Did ``node`` emit ABT overlapping ``[lo, hi]``?"""
+        open_start = self._abt_open.get(node)
+        if open_start is not None and open_start <= hi:
+            return True
+        history = self._abt_closed.get(node)
+        if history:
+            for start, end in history:
+                if start <= hi and end >= lo:
+                    return True
+        return False
+
+    def _flush_deadlines(self, now: int) -> None:
+        pending = self._pending_abt
+        while pending and pending[0][0] < now:
+            slot_end, _seq, node, sched, src, index = heapq.heappop(pending)
+            if not self._emitted_in(node, sched, slot_end):
+                self._violate(
+                    "abt-skipped", sched, node,
+                    f"node {node} scheduled ABT slot {index} for sender "
+                    f"{src} but emitted no ABT by {slot_end} ns",
+                    index=index, src=src, slot_end=slot_end,
+                )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def report(self) -> dict:
+        """JSON-serializable report: per-rule counts, total, and a
+        bounded sample of full violations."""
+        total = self.total
+        return {
+            "total": total,
+            "rules": {rule: n for rule, n in self.counts.items() if n},
+            "events_seen": self.events_seen,
+            "violations": [v.to_dict() for v in self.violations],
+            "truncated": total > len(self.violations),
+        }

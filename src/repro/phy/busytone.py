@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import enum
 from itertools import chain
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.phy.neighbors import NeighborService
 from repro.sim.engine import EventHandle, FastEvent, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.injector import FaultInjector
 
 
 class ToneType(enum.Enum):
@@ -39,14 +42,19 @@ class ToneType(enum.Enum):
 
 
 class _Emission:
-    __slots__ = ("emitter", "start", "end", "link_delays")
+    __slots__ = ("emitter", "start", "end", "link_delays", "suppressed")
 
-    def __init__(self, emitter: int, start: int, link_delays: Dict[int, int]):
+    def __init__(self, emitter: int, start: int, link_delays: Dict[int, int],
+                 suppressed: bool = False):
         self.emitter = emitter
         self.start = start
         self.end: Optional[int] = None
         #: listener node -> propagation delay (frozen at emission start)
         self.link_delays = link_delays
+        #: True for a crashed emitter's tone: never on the air, so it is
+        #: absent from the on/off trace too (the invariant oracle must
+        #: see the silence the rest of the network sees).
+        self.suppressed = suppressed
 
 
 class BusyToneChannel:
@@ -63,6 +71,7 @@ class BusyToneChannel:
         tone: ToneType,
         detect_time: int,
         tracer: Tracer = NULL_TRACER,
+        faults: Optional["FaultInjector"] = None,
     ):
         self._sim = sim
         self._neighbors = neighbors
@@ -70,6 +79,10 @@ class BusyToneChannel:
         #: lambda: continuous presence needed for detection (ns).
         self.detect_time = int(detect_time)
         self._tracer = tracer
+        #: Optional fault injector: a crashed emitter's tone reaches
+        #: nobody, and a crashed listener senses nothing new. ``None``
+        #: (the default) keeps turn_on on the original path.
+        self._faults = faults if faults is not None and faults.affects_tones else None
         #: Trace kinds, precomputed off the per-emission hot path.
         self._on_kind = f"{tone.value.lower()}-on"
         self._off_kind = f"{tone.value.lower()}-off"
@@ -94,7 +107,25 @@ class BusyToneChannel:
             raise RuntimeError(f"node {emitter} already emits {self.tone.value}")
         now = self._sim.now
         links = self._neighbors.links_from(emitter, now)
-        emission = _Emission(emitter, now, {l.node: l.delay_ns for l in links})
+        faults = self._faults
+        suppressed = False
+        if faults is None:
+            link_delays = {l.node: l.delay_ns for l in links}
+        elif faults.node_down(emitter, now):
+            # A crashed emitter's tone reaches nobody. The emission is
+            # still registered (with no listeners) so the MAC's matching
+            # turn_off stays valid, and the suppression is traced so the
+            # invariant oracle can tell an injected silence from a bug.
+            link_delays = {}
+            suppressed = True
+            if self._tracer.enabled:
+                self._tracer.emit(now, emitter, "fault-tone-suppressed",
+                                  tone=self.tone.value)
+        else:
+            # Deaf listeners (crashed at emission start) sense nothing.
+            link_delays = {l.node: l.delay_ns for l in links
+                           if not faults.node_down(l.node, now)}
+        emission = _Emission(emitter, now, link_delays, suppressed=suppressed)
         self._active[emitter] = emission
         # Presence deltas batch through schedule_many; detections (which
         # need cancellable handles) stay on sim.at. Presence lands within
@@ -113,7 +144,7 @@ class BusyToneChannel:
         detect_time = self.detect_time
         for node, delay in emission.link_delays.items():
             self._schedule_detection(emission, node, now + delay + detect_time)
-        if self._tracer.enabled:
+        if self._tracer.enabled and not suppressed:
             self._tracer.emit(now, emitter, self._on_kind)
 
     def turn_off(self, emitter: int) -> None:
@@ -135,7 +166,7 @@ class BusyToneChannel:
         self._sim.schedule_many(entries)
         self._recent.append(emission)
         self._prune(now)
-        if self._tracer.enabled:
+        if self._tracer.enabled and not emission.suppressed:
             self._tracer.emit(now, emitter, self._off_kind)
 
     def pulse(self, emitter: int, duration: int) -> None:

@@ -19,13 +19,16 @@ run on the same instance.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence
 
 from repro.phy.error import BitErrorModel, NoErrors
 from repro.phy.neighbors import Link, NeighborService
 from repro.phy.params import PhyParams
 from repro.sim.engine import EventHandle, FastEvent, SimulationError, Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.injector import FaultInjector
 
 
 class ChannelListener(Protocol):
@@ -94,6 +97,7 @@ class DataChannel:
         rng: Optional[random.Random] = None,
         tracer: Tracer = NULL_TRACER,
         capture_threshold_db: Optional[float] = None,
+        faults: Optional["FaultInjector"] = None,
     ):
         self._sim = sim
         self._neighbors = neighbors
@@ -104,6 +108,11 @@ class DataChannel:
         self._error_free = type(self._error_model) is NoErrors
         self._rng = rng or random.Random(0)
         self._tracer = tracer
+        #: Optional fault injector (see repro.faults). ``None`` keeps the
+        #: arrival paths on a single ``is None`` test; with an injector,
+        #: crashed endpoints suppress deliveries entirely and fades or
+        #: corruption windows turn deliveries into frame errors.
+        self._faults = faults if faults is not None and faults.affects_data else None
         #: Capture effect (extension): when set, an overlapping frame
         #: survives if its received power beats every interferer by this
         #: many dB. Requires a propagation model that reports power
@@ -317,6 +326,13 @@ class DataChannel:
         if node in self._transmitting:
             corrupted = True
         if link.in_rx_range:
+            faults = self._faults
+            if faults is not None and faults.suppresses_delivery(
+                    tx.sender, node, self._sim.now):
+                # A crashed endpoint: the energy above still interferes,
+                # but no reception begins -- to this receiver the frame
+                # does not exist (no on_rx_start, nothing at arrival end).
+                return
             ongoing[tx] = _Reception(tx, corrupted, link.power_dbm)
             listener = self._listeners.get(node)
             if listener is not None:
@@ -359,6 +375,23 @@ class DataChannel:
             return
         frame = tx.frame
         size = frame.size_bytes  # type: ignore[attr-defined]
+        faults = self._faults
+        if faults is not None:
+            now = self._sim.now
+            if faults.suppresses_delivery(tx.sender, node, now):
+                # An endpoint crashed since the arrival began: the frame
+                # vanishes (no rx callback at all, matching a receiver
+                # that never registered the reception).
+                if self._tracer.enabled:
+                    self._tracer.emit(now, node, "fault-rx-dropped",
+                                      sender=tx.sender)
+                return
+            if not rec.corrupted and faults.corrupts_arrival(
+                    tx.sender, node, now, self._rng):
+                rec.corrupted = True
+                if self._tracer.enabled:
+                    self._tracer.emit(now, node, "fault-corrupt",
+                                      sender=tx.sender)
         ok = (
             not rec.corrupted
             and not tx.aborted

@@ -85,6 +85,24 @@ class ListBuffer(TraceBuffer):
         return len(self.events)
 
 
+class NullBuffer(TraceBuffer):
+    """Retain nothing; only count. The backend for runs that enable
+    tracing purely to feed live subscribers (the invariant oracle's
+    ``repro run --oracle`` path) without accumulating events."""
+
+    def __init__(self) -> None:
+        self._accepted = 0
+
+    def append(self, event: TraceEvent) -> None:
+        self._accepted += 1
+
+    def snapshot(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return self._accepted
+
+
 class RingBuffer(TraceBuffer):
     """Keep only the most recent ``capacity`` events (bounded memory)."""
 

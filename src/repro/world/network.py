@@ -16,6 +16,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.config import RmacConfig
 from repro.core.rmac import RmacProtocol
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.mac.base import MacProtocol
 from repro.mac.bmmm import BmmmProtocol
 from repro.mac.dot11 import Dot11Config, Dot11Dcf
@@ -27,9 +29,10 @@ from repro.mobility.waypoint import RandomWaypointModel
 from repro.net.bless import BlessConfig
 from repro.net.multicast import MulticastConfig
 from repro.net.stack import NetworkLayer
+from repro.oracle import InvariantOracle
 from repro.sim.rng import derive_seed
 from repro.sim.telemetry import Telemetry
-from repro.sim.trace import Tracer
+from repro.sim.trace import NullBuffer, Tracer
 from repro.sim.units import SEC
 from repro.world.placement import random_placement
 from repro.world.testbed import MacTestbed
@@ -76,6 +79,16 @@ class ScenarioConfig:
     ber: float = 0.0
     #: Protocol-config overrides (e.g. {"retry_limit": 4}).
     mac_overrides: dict = field(default_factory=dict)
+    #: Optional fault-injection plan (crashes, fades, corruption windows,
+    #: replacement error model). Part of the config -- and therefore of
+    #: the result store's config_hash -- so faulted campaign points
+    #: resume exactly like fault-free ones. ``None`` hashes identically
+    #: to configs that predate the field.
+    faults: Optional[FaultPlan] = None
+    #: Attach the protocol invariant oracle to the run (violations
+    #: surface in the RunSummary). ``False`` hashes identically to
+    #: configs that predate the field.
+    oracle: bool = False
 
     #: Float-typed fields coerced in __post_init__ so a config built
     #: with ``rate_pps=10`` hashes and compares identically to one
@@ -195,9 +208,23 @@ class Network:
         from dataclasses import replace as dc_replace
 
         phy = dc_replace(DEFAULT_PHY, radio_range=config.radio_range)
-        from repro.phy.error import NoErrors, UniformBitErrors
+        from repro.phy.error import NoErrors, UniformBitErrors, error_model_from_dict
 
-        error_model = UniformBitErrors(config.ber) if config.ber else NoErrors()
+        plan = config.faults
+        if plan is not None and plan.error_model is not None:
+            # Rebuild from parameters so a stateful model (GilbertElliott)
+            # starts fresh every run: replays stay bit-identical even when
+            # one FaultPlan instance is shared across sweep points.
+            error_model = error_model_from_dict(plan.error_model.to_dict())
+        elif config.ber:
+            error_model = UniformBitErrors(config.ber)
+        else:
+            error_model = NoErrors()
+        injector = FaultInjector(plan) if plan else None
+        if config.oracle and tracer is None and not config.trace:
+            # The oracle needs the trace stream but the run did not ask
+            # for a trace: enable one that retains nothing.
+            tracer = Tracer(enabled=True, buffer=NullBuffer())
         self.testbed = MacTestbed(
             provider=provider,
             n_nodes=config.n_nodes,
@@ -206,8 +233,12 @@ class Network:
             trace=config.trace,
             error_model=error_model,
             tracer=tracer,
+            faults=injector,
         )
         tb = self.testbed
+        self.oracle: Optional[InvariantOracle] = (
+            InvariantOracle().attach(tb.tracer) if config.oracle else None
+        )
         self.telemetry: Optional[Telemetry] = (
             Telemetry().attach(tb.sim) if config.collect_telemetry else None
         )
@@ -250,6 +281,8 @@ class Network:
         """Run warm-up + traffic + drain and summarize."""
         end = self._mc_config.traffic_end + round(self.config.drain_s * SEC)
         self.sim.run(until=end)
+        if self.oracle is not None:
+            self.oracle.finish()
         self.testbed.tracer.close()
         return self.summary()
 
@@ -261,6 +294,7 @@ class Network:
             telemetry=(
                 self.telemetry.report(self.sim) if self.telemetry is not None else None
             ),
+            oracle=self.oracle.report() if self.oracle is not None else None,
         )
 
 

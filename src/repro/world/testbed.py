@@ -11,7 +11,7 @@ network stack (routing tree + multicast application) composes on top in
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.phy.busytone import BusyToneChannel, ToneType
 from repro.phy.channel import DataChannel
@@ -23,6 +23,9 @@ from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.injector import FaultInjector
 
 
 class MacTestbed:
@@ -42,6 +45,7 @@ class MacTestbed:
         tracer: Optional[Tracer] = None,
         cache_window: int = 50_000_000,
         capture_threshold_db: Optional[float] = None,
+        faults: Optional["FaultInjector"] = None,
     ):
         if provider is None:
             if coords is None:
@@ -59,6 +63,8 @@ class MacTestbed:
         self.tracer = tracer if tracer is not None else Tracer(enabled=trace)
         model = propagation or UnitDiskModel(phy.radio_range)
         self.neighbors = NeighborService(provider, model, cache_window=cache_window)
+        #: Optional fault injector shared by the data and tone channels.
+        self.faults = faults
         self.data_channel = DataChannel(
             self.sim,
             self.neighbors,
@@ -67,10 +73,12 @@ class MacTestbed:
             rng=self.rngs.stream("channel"),
             tracer=self.tracer,
             capture_threshold_db=capture_threshold_db,
+            faults=faults,
         )
         self.tones: Dict[ToneType, BusyToneChannel] = {
             tone: BusyToneChannel(
-                self.sim, self.neighbors, tone, detect_time=phy.cca_time, tracer=self.tracer
+                self.sim, self.neighbors, tone, detect_time=phy.cca_time,
+                tracer=self.tracer, faults=faults,
             )
             for tone in ToneType
         }

@@ -1,0 +1,77 @@
+"""FaultInjector: window compilation and the PHY hook predicates."""
+
+import random
+
+from repro.faults import CorruptionWindow, FaultInjector, FaultPlan, LinkFade, NodeCrash
+from repro.sim.units import MS, SEC
+
+
+def test_crash_windows():
+    plan = FaultPlan(crashes=(
+        NodeCrash(node=3, at_s=1.0, recover_s=2.0),
+        NodeCrash(node=3, at_s=4.0),          # second, permanent crash
+        NodeCrash(node=5, at_s=0.5),
+    ))
+    inj = FaultInjector(plan)
+    assert not inj.node_down(3, 999 * MS)
+    assert inj.node_down(3, 1 * SEC)          # inclusive start
+    assert inj.node_down(3, 1500 * MS)
+    assert not inj.node_down(3, 2 * SEC)      # exclusive end (recovered)
+    assert inj.node_down(3, 5 * SEC)          # permanent window
+    assert inj.node_down(5, 10 * SEC)
+    assert not inj.node_down(4, 1 * SEC)      # unlisted node never down
+
+
+def test_fade_directionality():
+    bidi = FaultInjector(FaultPlan(fades=(
+        LinkFade(src=1, dst=2, start_s=1.0, end_s=2.0),)))
+    assert bidi.link_faded(1, 2, 1500 * MS)
+    assert bidi.link_faded(2, 1, 1500 * MS)
+    assert not bidi.link_faded(1, 2, 2500 * MS)
+
+    one_way = FaultInjector(FaultPlan(fades=(
+        LinkFade(src=1, dst=2, start_s=1.0, end_s=2.0, bidirectional=False),)))
+    assert one_way.link_faded(1, 2, 1500 * MS)
+    assert not one_way.link_faded(2, 1, 1500 * MS)
+
+
+def test_suppresses_delivery_if_either_end_down():
+    inj = FaultInjector(FaultPlan(crashes=(NodeCrash(node=1, at_s=1.0),)))
+    t = 2 * SEC
+    assert inj.suppresses_delivery(sender=1, node=2, t=t)  # dead sender
+    assert inj.suppresses_delivery(sender=2, node=1, t=t)  # dead receiver
+    assert not inj.suppresses_delivery(sender=2, node=3, t=t)
+    assert not inj.suppresses_delivery(sender=1, node=2, t=999 * MS)
+
+
+def test_corruption_window_targets_and_probability():
+    inj = FaultInjector(FaultPlan(corruption=(
+        CorruptionWindow(start_s=1.0, end_s=2.0, nodes=(4,)),
+        CorruptionWindow(start_s=3.0, end_s=4.0, probability=0.5),
+    )))
+    rng = random.Random(0)
+    t = 1500 * MS
+    assert inj.corrupts_arrival(0, 4, t, rng)          # targeted, p=1
+    assert not inj.corrupts_arrival(0, 5, t, rng)      # untargeted node
+    assert not inj.corrupts_arrival(0, 4, 2500 * MS, rng)  # outside window
+    # Probabilistic window: roughly half of many draws corrupt.
+    hits = sum(inj.corrupts_arrival(0, 4, 3500 * MS, rng) for _ in range(1000))
+    assert 400 < hits < 600
+
+
+def test_fade_corrupts_arrivals():
+    inj = FaultInjector(FaultPlan(fades=(
+        LinkFade(src=0, dst=1, start_s=1.0, end_s=2.0),)))
+    rng = random.Random(0)
+    assert inj.corrupts_arrival(0, 1, 1500 * MS, rng)
+    assert not inj.corrupts_arrival(0, 2, 1500 * MS, rng)
+
+
+def test_affects_flags():
+    assert not FaultInjector(FaultPlan()).affects_data
+    assert not FaultInjector(FaultPlan()).affects_tones
+    crash = FaultInjector(FaultPlan(crashes=(NodeCrash(node=1, at_s=1.0),)))
+    assert crash.affects_data and crash.affects_tones
+    fade = FaultInjector(FaultPlan(fades=(
+        LinkFade(src=0, dst=1, start_s=1.0),)))
+    assert fade.affects_data and not fade.affects_tones

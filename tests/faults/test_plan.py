@@ -1,0 +1,83 @@
+"""FaultPlan: validation, serialization, file loading."""
+
+import json
+
+import pytest
+
+from repro.faults import CorruptionWindow, FaultPlan, LinkFade, NodeCrash
+from repro.phy.error import GilbertElliott, UniformBitErrors
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan()
+    assert FaultPlan(crashes=(NodeCrash(node=1, at_s=2.0),))
+    assert FaultPlan(error_model=UniformBitErrors(1e-4))
+
+
+def test_crash_validation():
+    with pytest.raises(ValueError):
+        NodeCrash(node=-1, at_s=1.0)
+    with pytest.raises(ValueError):
+        NodeCrash(node=0, at_s=-0.5)
+    with pytest.raises(ValueError):
+        NodeCrash(node=0, at_s=2.0, recover_s=1.0)
+    NodeCrash(node=0, at_s=2.0, recover_s=3.0)  # ok
+
+
+def test_fade_validation():
+    with pytest.raises(ValueError):
+        LinkFade(src=1, dst=1, start_s=0.0)
+    with pytest.raises(ValueError):
+        LinkFade(src=0, dst=1, start_s=3.0, end_s=2.0)
+    LinkFade(src=0, dst=1, start_s=3.0)  # open-ended ok
+
+
+def test_corruption_window_validation():
+    with pytest.raises(ValueError):
+        CorruptionWindow(start_s=1.0, end_s=1.0)
+    with pytest.raises(ValueError):
+        CorruptionWindow(start_s=0.0, end_s=1.0, probability=0.0)
+    with pytest.raises(ValueError):
+        CorruptionWindow(start_s=0.0, end_s=1.0, probability=1.5)
+    window = CorruptionWindow(start_s=0.0, end_s=1.0, nodes=[3, 5])
+    assert window.nodes == (3, 5)
+
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(
+        crashes=(NodeCrash(node=4, at_s=1.0, recover_s=2.0),
+                 NodeCrash(node=7, at_s=3.0)),
+        fades=(LinkFade(src=1, dst=2, start_s=0.5, end_s=1.5),
+               LinkFade(src=3, dst=4, start_s=2.0, bidirectional=False)),
+        corruption=(CorruptionWindow(start_s=0.0, end_s=0.2,
+                                     nodes=(1,), probability=0.5),),
+        error_model=GilbertElliott(p_gb=0.1, p_bg=0.3, ber_bad=0.05),
+    )
+
+
+def test_to_dict_round_trip():
+    plan = _full_plan()
+    rebuilt = FaultPlan.from_dict(plan.to_dict())
+    assert rebuilt == plan
+    assert rebuilt.to_dict() == plan.to_dict()
+    # And the dict itself is JSON-serializable as-is.
+    assert json.loads(json.dumps(plan.to_dict())) == plan.to_dict()
+
+
+def test_from_dict_sections_optional():
+    plan = FaultPlan.from_dict({"crashes": [{"node": 2, "at_s": 1.0}]})
+    assert plan.crashes == (NodeCrash(node=2, at_s=1.0),)
+    assert plan.fades == () and plan.corruption == ()
+    assert plan.error_model is None
+    assert FaultPlan.from_dict({}) == FaultPlan()
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(_full_plan().to_dict()))
+    assert FaultPlan.load(str(path)) == _full_plan()
+
+
+def test_lists_coerced_to_tuples():
+    plan = FaultPlan(crashes=[NodeCrash(node=1, at_s=1.0)])
+    assert isinstance(plan.crashes, tuple)

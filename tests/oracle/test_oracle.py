@@ -1,0 +1,247 @@
+"""The invariant oracle: rule-by-rule unit checks on synthetic events,
+clean-run checks through the full stack, and the crafted-fault test
+proving an injected violation is detected and attributed."""
+
+import pytest
+
+from repro.core import RmacConfig, RmacProtocol
+from repro.experiments.runner import run_point
+from repro.faults import FaultInjector, FaultPlan, NodeCrash
+from repro.oracle import InvariantOracle, Violation
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.units import SEC
+from repro.world.network import ScenarioConfig
+from repro.world.testbed import MacTestbed
+
+
+def ev(time, node, kind, **detail) -> TraceEvent:
+    return TraceEvent(time, node, kind, detail)
+
+
+def feed(oracle: InvariantOracle, *events: TraceEvent) -> InvariantOracle:
+    for event in events:
+        oracle.on_event(event)
+    return oracle
+
+
+# ---------------------------------------------------------------------------
+# Rule units (synthetic event streams)
+# ---------------------------------------------------------------------------
+def test_rbt_unsolicited_flagged():
+    oracle = feed(InvariantOracle(), ev(1000, 4, "rbt-on-rx", index=0))
+    assert oracle.counts["rbt-unsolicited"] == 1
+    violation = oracle.violations[0]
+    assert violation.rule == "rbt-unsolicited"
+    assert violation.node == 4 and violation.time == 1000
+
+
+def test_rbt_answering_mrts_is_clean():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 4, "mrts-rx", src=0, index=0),
+        ev(1000, 4, "rbt-on-rx", index=0),
+    )
+    assert oracle.total == 0
+
+
+def test_stale_mrts_does_not_justify_rbt():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 4, "mrts-rx", src=0, index=0),
+        ev(2000, 4, "rbt-on-rx", index=0),  # later instant: unsolicited
+    )
+    assert oracle.counts["rbt-unsolicited"] == 1
+
+
+def test_abt_slot_conflict_flagged():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 1, "abt-scheduled", index=0, src=0, slot_end=2000),
+        ev(1000, 2, "abt-scheduled", index=0, src=0, slot_end=2000),
+    )
+    assert oracle.counts["abt-slot-conflict"] == 1
+    assert oracle.violations[0].detail["other"] == 1
+
+
+def test_new_mrts_resets_slot_claims():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 1, "abt-scheduled", index=0, src=0, slot_end=2000),
+        ev(5000, 0, "mrts-tx", receivers=(2,), seq=2, attempt=1),
+        ev(6000, 2, "abt-scheduled", index=0, src=0, slot_end=7000),
+    )
+    assert oracle.counts["abt-slot-conflict"] == 0
+
+
+def test_rdata_without_rbt_flagged():
+    oracle = feed(InvariantOracle(), ev(3000, 0, "rdata-tx", seq=1))
+    assert oracle.counts["rdata-without-rbt"] == 1
+    clean = feed(
+        InvariantOracle(),
+        ev(3000, 0, "rbt-detected", window_start=1000),
+        ev(3000, 0, "rdata-tx", seq=1),
+    )
+    assert clean.total == 0
+
+
+def test_reliable_outcome_partition_checked():
+    bad = feed(InvariantOracle(), ev(9000, 0, "reliable-done",
+                                     requested=(1, 2), acked=(1,),
+                                     failed=(), dropped=False))
+    assert bad.counts["reliable-outcome"] == 1
+
+    undropped = feed(InvariantOracle(), ev(9000, 0, "reliable-done",
+                                           requested=(1, 2), acked=(1,),
+                                           failed=(2,), dropped=False))
+    assert undropped.counts["reliable-outcome"] == 1
+
+    clean = feed(InvariantOracle(), ev(9000, 0, "reliable-done",
+                                       requested=(1, 2), acked=(1,),
+                                       failed=(2,), dropped=True))
+    assert clean.total == 0
+
+
+def test_abt_skipped_flagged_after_deadline():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 2, "abt-scheduled", index=1, src=0, slot_end=3000),
+        ev(9000, 0, "no-rbt"),  # any later event triggers the check
+    )
+    assert oracle.counts["abt-skipped"] == 1
+    violation = oracle.violations[0]
+    assert violation.node == 2
+    assert violation.detail == {"index": 1, "src": 0, "slot_end": 3000}
+
+
+def test_abt_in_slot_is_clean():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 2, "abt-scheduled", index=1, src=0, slot_end=3000),
+        ev(2000, 2, "abt-on"),
+        ev(3000, 2, "abt-off"),
+        ev(9000, 0, "no-rbt"),
+    )
+    assert oracle.total == 0
+
+
+def test_overlapping_previous_pulse_satisfies_slot():
+    """The paper's pathological overlap: the previous ABT pulse is still
+    on when the next slot starts, so the new pulse is skipped -- but the
+    tone does cover the slot, and the oracle must not flag it."""
+    oracle = feed(
+        InvariantOracle(),
+        ev(500, 2, "abt-on"),  # earlier transaction's pulse, still on
+        ev(1000, 2, "abt-scheduled", index=0, src=0, slot_end=1800),
+        ev(1700, 2, "abt-off"),
+        ev(9000, 0, "no-rbt"),
+    )
+    assert oracle.total == 0
+
+
+def test_finish_resolves_only_elapsed_slots():
+    oracle = feed(
+        InvariantOracle(),
+        ev(1000, 2, "abt-scheduled", index=0, src=0, slot_end=3000),
+        ev(1000, 3, "abt-scheduled", index=1, src=0, slot_end=9000),
+        ev(5000, 0, "no-rbt"),  # last event: slot_end=9000 not elapsed
+    )
+    oracle.finish()
+    assert oracle.counts["abt-skipped"] == 1  # only node 2's slot
+    assert oracle.violations[0].node == 2
+
+
+def test_attach_chains_existing_sink():
+    tracer = Tracer(enabled=True)
+    seen = []
+    tracer.sink = seen.append
+    oracle = InvariantOracle().attach(tracer)
+    tracer.emit(1000, 4, "rbt-on-rx", index=0)
+    assert len(seen) == 1  # the prior sink still fires
+    assert oracle.counts["rbt-unsolicited"] == 1
+
+
+def test_report_shape_and_truncation():
+    oracle = InvariantOracle(max_recorded=2)
+    for t in (1000, 2000, 3000):
+        oracle.on_event(ev(t, 4, "rbt-on-rx", index=0))
+    report = oracle.report()
+    assert report["total"] == 3
+    assert report["rules"] == {"rbt-unsolicited": 3}
+    assert len(report["violations"]) == 2
+    assert report["truncated"] is True
+    assert report["events_seen"] == 3
+    assert Violation(**{k: report["violations"][0][k]
+                        for k in ("rule", "time", "node", "message", "detail")})
+
+
+# ---------------------------------------------------------------------------
+# Full stack: clean paper scenarios report zero violations
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ["rmac", "bmmm"])
+def test_fault_free_run_is_clean(protocol):
+    summary = run_point(ScenarioConfig(
+        protocol=protocol, n_nodes=12, width=180.0, height=120.0,
+        rate_pps=8.0, n_packets=8, warmup_s=0.5, drain_s=0.5, seed=5,
+        oracle=True,
+    ))
+    assert summary.oracle_violations == 0
+    assert summary.oracle_report["rules"] == {}
+    assert summary.oracle_report["events_seen"] > 0
+
+
+def test_oracle_with_telemetry_lands_in_telemetry_dict():
+    summary = run_point(ScenarioConfig(
+        n_nodes=10, width=150.0, height=100.0, rate_pps=5.0, n_packets=4,
+        warmup_s=0.5, drain_s=0.5, seed=3, oracle=True,
+        collect_telemetry=True,
+    ))
+    assert summary.telemetry["oracle_violations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# The crafted fault: a receiver is made to skip its ABT slot, and the
+# oracle attributes the violation to that node, time, and rule.
+# ---------------------------------------------------------------------------
+def _reliable_send_testbed(faults=None) -> MacTestbed:
+    tb = MacTestbed(coords=[(0, 0), (50, 0), (0, 50)], seed=7, trace=True,
+                    faults=faults)
+    config = RmacConfig(phy=tb.phy)
+    tb.build_macs(lambda i, t: RmacProtocol(i, t.sim, t.radios[i],
+                                            t.node_rng(i), config,
+                                            tracer=t.tracer))
+    tb.macs[0].send_reliable((1, 2), payload="x", payload_bytes=500)
+    return tb
+
+
+def test_crafted_fault_reports_exactly_the_injected_violation():
+    # Discovery run: when does node 2 commit to its ABT slot?
+    probe = _reliable_send_testbed()
+    probe.run(100_000_000)
+    scheduled = [e for e in probe.tracer.of_kind("abt-scheduled")
+                 if e.node == 2]
+    assert scheduled, "reference run must complete the handshake"
+    sched = scheduled[0]
+    assert sched.detail["index"] == 1  # second receiver, delayed pulse
+
+    # Replay with node 2's radio crashed between its commitment and its
+    # pulse: it promised an ABT it can no longer put on the air.
+    crash_at = (sched.time + 1000) / SEC
+    plan = FaultPlan(crashes=(NodeCrash(node=2, at_s=crash_at),))
+    tb = _reliable_send_testbed(faults=FaultInjector(plan))
+    oracle = InvariantOracle().attach(tb.tracer)
+    tb.run(100_000_000)
+    oracle.finish()
+
+    skipped = [v for v in oracle.violations if v.rule == "abt-skipped"]
+    assert len(skipped) == 1
+    violation = skipped[0]
+    assert violation.node == 2
+    assert violation.time == sched.time
+    assert violation.detail["index"] == 1 and violation.detail["src"] == 0
+    # The injected silence is also traced as such, distinguishing an
+    # injected fault from a protocol bug in post-mortems.
+    assert tb.tracer.of_kind("fault-tone-suppressed")
+    # No other rule fires: the sender retries and records the failure
+    # legally, so reliable-outcome stays clean.
+    assert oracle.counts["reliable-outcome"] == 0
+    assert oracle.counts["rdata-without-rbt"] == 0

@@ -4,7 +4,12 @@ import random
 
 import pytest
 
-from repro.phy.error import NoErrors, UniformBitErrors
+from repro.phy.error import (
+    GilbertElliott,
+    NoErrors,
+    UniformBitErrors,
+    error_model_from_dict,
+)
 
 
 def test_no_errors_never_corrupts():
@@ -48,3 +53,94 @@ def test_ber_bounds():
         UniformBitErrors(1.0)
     with pytest.raises(ValueError):
         UniformBitErrors(0.5).frame_success_probability(-1)
+
+
+# ---------------------------------------------------------------------------
+# Gilbert-Elliott
+# ---------------------------------------------------------------------------
+def test_gilbert_elliott_parameter_bounds():
+    with pytest.raises(ValueError):
+        GilbertElliott(p_gb=1.5, p_bg=0.1)
+    with pytest.raises(ValueError):
+        GilbertElliott(p_gb=0.1, p_bg=-0.2)
+    with pytest.raises(ValueError):
+        GilbertElliott(p_gb=0.1, p_bg=0.1, ber_bad=1.0)
+
+
+def test_gilbert_elliott_all_good_never_corrupts():
+    model = GilbertElliott(p_gb=0.0, p_bg=1.0, ber_good=0.0, ber_bad=0.5)
+    rng = random.Random(1)
+    assert not any(model.corrupts(1000, rng) for _ in range(200))
+    assert not model.bad
+
+
+def test_gilbert_elliott_bursts_cluster():
+    """ber_bad >> ber_good with sticky states produces runs of losses."""
+    model = GilbertElliott(p_gb=0.05, p_bg=0.2, ber_good=0.0, ber_bad=0.05)
+    rng = random.Random(7)
+    outcomes = [model.corrupts(500, rng) for _ in range(5000)]
+    losses = sum(outcomes)
+    assert losses > 0
+    # Count adjacent loss pairs; independent losses at the same overall
+    # rate would produce far fewer (p_pair = p^2 * n).
+    pairs = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+    p = losses / len(outcomes)
+    independent_pairs = p * p * len(outcomes)
+    assert pairs > 3 * independent_pairs
+
+
+def test_gilbert_elliott_equal_bers_matches_uniform():
+    """With ber_good == ber_bad the state machine is irrelevant: loss
+    frequency must match UniformBitErrors at that BER statistically."""
+    ber = 2e-4
+    ge = GilbertElliott(p_gb=0.3, p_bg=0.3, ber_good=ber, ber_bad=ber)
+    uniform = UniformBitErrors(ber)
+    n, size = 6000, 500
+    rng_ge, rng_u = random.Random(11), random.Random(12)
+    ge_rate = sum(ge.corrupts(size, rng_ge) for _ in range(n)) / n
+    u_rate = sum(uniform.corrupts(size, rng_u) for _ in range(n)) / n
+    expected = 1 - (1 - ber) ** (8 * size)
+    assert ge_rate == pytest.approx(expected, abs=0.03)
+    assert u_rate == pytest.approx(expected, abs=0.03)
+    assert ge_rate == pytest.approx(u_rate, abs=0.04)
+
+
+# ---------------------------------------------------------------------------
+# Serialization and equality
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("model", [
+    NoErrors(),
+    UniformBitErrors(1e-4),
+    GilbertElliott(p_gb=0.1, p_bg=0.4, ber_good=1e-5, ber_bad=0.02),
+])
+def test_to_dict_round_trip(model):
+    rebuilt = error_model_from_dict(model.to_dict())
+    assert rebuilt == model
+    assert rebuilt is not model
+    assert rebuilt.to_dict() == model.to_dict()
+    assert hash(rebuilt) == hash(model)
+
+
+def test_round_trip_resets_dynamic_state():
+    """to_dict carries parameters only: a rebuilt GilbertElliott starts
+    fresh in the good state even if the source was mid-burst."""
+    model = GilbertElliott(p_gb=1.0, p_bg=0.0, ber_good=0.0, ber_bad=0.5)
+    model.corrupts(100, random.Random(0))  # forces the bad state
+    assert model.bad
+    rebuilt = error_model_from_dict(model.to_dict())
+    assert not rebuilt.bad
+    assert rebuilt == model  # state is not part of value equality
+
+
+def test_equality_is_by_value():
+    assert UniformBitErrors(1e-4) == UniformBitErrors(1e-4)
+    assert UniformBitErrors(1e-4) != UniformBitErrors(2e-4)
+    assert NoErrors() == NoErrors()
+    assert NoErrors() != UniformBitErrors(0.0)
+    assert (GilbertElliott(0.1, 0.2) ==
+            GilbertElliott(0.1, 0.2, ber_good=0.0, ber_bad=0.1))
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError, match="unknown bit-error model"):
+        error_model_from_dict({"model": "rayleigh"})
