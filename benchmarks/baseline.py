@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Regenerate the committed performance baseline.
 
-Runs the full *and* smoke benchmark sweeps (see
+Runs the full, smoke *and* large benchmark tiers (see
 ``repro.experiments.bench``) and writes ``benchmarks/BENCH_<rev>.json``
 next to this script. Run it from a clean checkout after a kernel or PHY
 change that is meant to shift performance, and commit the result::
 
     PYTHONPATH=src python benchmarks/baseline.py
+
+Pass ``--no-large`` to skip the scaling tier (minutes of 200-1000-node
+runs) when only the kernel numbers changed.
 
 CI and ``repro bench`` compare later runs against the newest committed
 ``BENCH_*.json``, so the baseline should come from an otherwise idle
@@ -24,12 +27,13 @@ from repro.experiments import bench  # noqa: E402
 
 def main() -> int:
     rev = bench.git_rev(os.path.dirname(__file__))
+    points = list(bench.FULL_POINTS) + list(bench.SMOKE_POINTS)
+    if "--no-large" not in sys.argv[1:]:
+        points += list(bench.LARGE_POINTS)
     report = bench.run_bench(
-        list(bench.FULL_POINTS) + list(bench.SMOKE_POINTS),
+        points,
         rev=rev,
-        progress=lambda rec: print(
-            f"  {rec['mode']} {rec['protocol']}/seed{rec['seed']}: "
-            f"{rec['events']} ev @ {rec['eps']:,.0f}/s", flush=True),
+        progress=lambda rec: print("  " + bench.render_point(rec), flush=True),
     )
     out = os.path.join(os.path.dirname(__file__), f"BENCH_{rev}.json")
     with open(out, "w") as fh:

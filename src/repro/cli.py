@@ -109,12 +109,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.experiments import bench
 
-    points = bench.SMOKE_POINTS if args.smoke else bench.FULL_POINTS
+    tier = args.tier or ("smoke" if args.smoke else "full")
+    points = bench.tier_points(tier)
     report = bench.run_bench(
         points,
-        progress=lambda rec: print(
-            f"  {rec['mode']} {rec['protocol']}/seed{rec['seed']}: "
-            f"{rec['events']} ev @ {rec['eps']:,.0f}/s", flush=True),
+        progress=lambda rec: print("  " + bench.render_point(rec), flush=True),
     )
     print(bench.render(report))
     out = args.out or f"BENCH_{report['rev']}.json"
@@ -386,9 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fixed perf sweep and compare against the committed "
              "baseline (see benchmarks/BENCH_*.json)",
     )
+    bench.add_argument("--tier", choices=("smoke", "full", "large"),
+                       help="point set to run: smoke (one ~1s run, the CI "
+                            "gate), full (the committed 40-node sweep, the "
+                            "default), or large (200/500/1000-node scaling "
+                            "tier with grid-vs-brute comparisons)")
     bench.add_argument("--smoke", action="store_true",
-                       help="one small run (~1s) instead of the full sweep; "
-                            "what CI executes on every push")
+                       help="alias for --tier smoke; what CI executes on "
+                            "every push")
     bench.add_argument("--out", metavar="OUT.json",
                        help="report path (default BENCH_<rev>.json in cwd)")
     bench.add_argument("--baseline", metavar="FILE_OR_DIR",

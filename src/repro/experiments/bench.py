@@ -13,7 +13,7 @@ PHY re-runs the sweep and compares against the committed baseline, so
 "make the hot path faster" (the ROADMAP's north star) is a measured
 claim instead of a hope, and accidental slowdowns fail CI.
 
-Two modes:
+Three tiers:
 
 * **full** -- three 40-node paper-scale runs (RMAC x2 seeds, BMMM x1),
   a few hundred thousand events each. This is the number quoted in
@@ -22,13 +22,25 @@ Two modes:
   second; cheap enough for CI on every push. CI compares its
   events/sec against the committed baseline with a generous regression
   threshold (wall-clock on shared runners is noisy).
+* **large** -- the scaling tier (200/500/1000 nodes, static + random
+  waypoint) exercising the spatial-grid link path, plus
+  ``neighbor-rebuild`` microbenchmark points that time whole-bucket
+  link-table rebuilds on the grid path against the brute-force
+  per-sender path on identical trajectories (asserting the tables are
+  exactly equal first). The 1000-node waypoint point additionally
+  re-runs the full stack with indexing forced to brute and asserts
+  bit-identical ``RunSummary`` metrics -- the "measurably faster,
+  bit-identical results" contract, measured.
 
-The sweep is **static-only** (no mobility) on purpose: static scenarios
-exercise the frozen-link fast path and keep the per-run ``metrics``
-block bit-identical across machines and across mobility-model changes,
-so the baseline doubles as a determinism regression check -- same
-seeds must produce the same delivery/retransmission/delay numbers,
-or something changed protocol behavior rather than just speed.
+The smoke/full sweeps are **static-only** (no mobility) on purpose:
+static scenarios exercise the frozen-link fast path and keep the
+per-run ``metrics`` block bit-identical across machines and across
+mobility-model changes, so the baseline doubles as a determinism
+regression check -- same seeds must produce the same delivery/
+retransmission/delay numbers, or something changed protocol behavior
+rather than just speed. (At 12-40 nodes they also stay below the
+``auto`` grid threshold, so they time the original brute path
+unchanged.)
 """
 
 from __future__ import annotations
@@ -80,6 +92,71 @@ SMOKE_POINTS: List[dict] = [
            height=140.0, rate_pps=5.0, n_packets=10),
 ]
 
+#: Field sizes for the scaling tier, chosen to keep the paper's node
+#: density (75 nodes per 500x300 m) roughly constant so connected
+#: placements stay drawable at every size.
+_LARGE_FIELDS: Dict[int, Tuple[float, float]] = {
+    200: (715.0, 450.0),
+    500: (1130.0, 700.0),
+    1000: (1600.0, 1000.0),
+}
+
+#: Light traffic for the scaling tier: the point is topology scale, not
+#: offered load, and 1000-node full-stack runs must finish in minutes.
+_LARGE_TRAFFIC = dict(rate_pps=2.0, n_packets=6, warmup_s=2.0, drain_s=2.0)
+
+
+def _large_point(n_nodes: int, mobile: bool, seed: int, **extra) -> dict:
+    width, height = _LARGE_FIELDS[n_nodes]
+    point = _point("large", "rmac", seed, n_nodes=n_nodes, width=width,
+                   height=height, mobile=mobile, **_LARGE_TRAFFIC)
+    point["label"] = f"{'waypoint' if mobile else 'static'}-{n_nodes}"
+    point.update(extra)
+    return point
+
+
+def _rebuild_point(n_nodes: int, epochs: int, seed: int = 1) -> dict:
+    width, height = _LARGE_FIELDS[n_nodes]
+    return {"mode": "large", "protocol": "neighbors", "seed": seed,
+            "kind": "neighbor-rebuild", "label": f"rebuild-{n_nodes}",
+            "n_nodes": n_nodes, "width": width, "height": height,
+            "epochs": epochs}
+
+
+#: The scaling tier. Full-stack points run with the default ``auto``
+#: indexing (grid at these sizes); ``compare_brute`` re-runs the same
+#: scenario with indexing forced to brute and asserts bit-identical
+#: metrics. ``neighbor-rebuild`` points time the link-table layer alone
+#: (grid vs brute) -- the apples-to-apples number for the spatial index
+#: itself, free of event-loop dilution.
+LARGE_POINTS: List[dict] = [
+    _large_point(200, False, 1),
+    _large_point(200, True, 1),
+    _large_point(500, False, 1),
+    _large_point(500, True, 1),
+    _large_point(1000, False, 1),
+    _large_point(1000, True, 1, compare_brute=True),
+    _rebuild_point(200, epochs=40),
+    _rebuild_point(500, epochs=30),
+    _rebuild_point(1000, epochs=20),
+]
+
+#: ``repro bench --tier <name>`` choices.
+TIER_NAMES = ("smoke", "full", "large")
+
+
+def tier_points(tier: str) -> List[dict]:
+    """The point set for one tier.
+
+    Resolved at call time (not via a module-level dict frozen at import),
+    so tests can monkeypatch the point lists.
+    """
+    try:
+        return {"smoke": SMOKE_POINTS, "full": FULL_POINTS,
+                "large": LARGE_POINTS}[tier]
+    except KeyError:
+        raise ValueError(f"unknown bench tier {tier!r}") from None
+
 
 def git_rev(cwd: Optional[str] = None) -> str:
     """Short git revision of ``cwd`` (or the process cwd); ``unknown``
@@ -103,7 +180,12 @@ def run_point(point: dict) -> dict:
     minimum is the least-noisy estimator). Every repetition must produce
     identical events and metrics -- a free determinism check; a mismatch
     raises rather than silently averaging nondeterministic runs.
+
+    ``kind: "neighbor-rebuild"`` points bypass the full stack and time
+    the link-table layer directly (see :func:`_run_rebuild_point`).
     """
+    if point.get("kind") == "neighbor-rebuild":
+        return _run_rebuild_point(point)
     best = None
     for _ in range(max(1, int(point.get("repeat", 1)))):
         config = ScenarioConfig(
@@ -118,12 +200,16 @@ def run_point(point: dict) -> dict:
             "mode": point["mode"],
             "protocol": point["protocol"],
             "seed": point["seed"],
+            "label": point.get("label"),
             "events": summary.events_processed,
             "wall_s": summary.wall_time_s,
             "eps": summary.events_per_sec,
             "metrics": {name: getattr(summary, name) for name in METRIC_FIELDS},
             "subsystem_wall_s": telemetry.get("subsystem_wall_s", {}),
         }
+        neighbors = telemetry.get("neighbors")
+        if neighbors is not None:
+            record["neighbors"] = neighbors
         if best is None:
             best = record
         else:
@@ -134,7 +220,128 @@ def run_point(point: dict) -> dict:
                 )
             if (record["wall_s"] or 0.0) < (best["wall_s"] or 0.0):
                 best = record
+    if point.get("compare_brute"):
+        # Same scenario, same seeds, indexing forced to brute on the
+        # built network (ScenarioConfig -- and so every config_hash --
+        # is untouched). The metrics must match bit-for-bit; the wall
+        # clocks are the honest end-to-end grid-vs-brute comparison.
+        config = ScenarioConfig(
+            protocol=point["protocol"],
+            seed=point["seed"],
+            collect_telemetry=True,
+            **point["config"],
+        )
+        network = build_network(config)
+        network.testbed.neighbors.force_indexing("brute")
+        brute = network.run()
+        brute_metrics = {name: getattr(brute, name) for name in METRIC_FIELDS}
+        if brute_metrics != best["metrics"]:
+            drifted = sorted(name for name in METRIC_FIELDS
+                             if brute_metrics[name] != best["metrics"][name])
+            raise RuntimeError(
+                f"grid vs brute metrics diverged on {point.get('label')}: "
+                f"{', '.join(drifted)}"
+            )
+        best["brute_eps"] = brute.events_per_sec
+        if brute.events_per_sec and best["eps"]:
+            best["e2e_speedup_vs_brute"] = best["eps"] / brute.events_per_sec
     return best
+
+
+def _run_rebuild_point(point: dict) -> dict:
+    """Time whole-bucket link-table rebuilds: grid vs brute, same world.
+
+    Places ``n_nodes`` nodes, attaches random-waypoint mobility, then
+    queries every sender's links across ``epochs`` consecutive mobility
+    buckets -- the dense access pattern under which the grid path runs
+    its batched whole-bucket rebuilds (the adaptive first epoch, served
+    lazily before the density upgrade kicks in, is included in the timed
+    pass). Waypoint legs are materialized up front so neither timed pass
+    pays them, and the two paths' tables are asserted exactly equal
+    (first and last epoch) before anything is timed. ``speedup`` is the
+    recorded grid-over-brute link-evaluation throughput ratio.
+    """
+    import random as _random
+    from time import perf_counter
+
+    from repro.mobility.base import MobilityProvider
+    from repro.mobility.waypoint import RandomWaypointModel
+    from repro.phy.neighbors import NeighborService
+    from repro.phy.propagation import UnitDiskModel
+    from repro.sim.rng import derive_seed
+    from repro.world.placement import random_placement
+
+    n = point["n_nodes"]
+    epochs = point["epochs"]
+    width, height = point["width"], point["height"]
+    window = 50_000_000
+    master = _random.Random(derive_seed(point["seed"], "bench-rebuild"))
+    coords = random_placement(n, width, height, master,
+                              require_connected=False)
+    models = [
+        RandomWaypointModel(
+            x, y, width, height, 0.5, 8.0, 2.0,
+            _random.Random(derive_seed(point["seed"], "bench-rebuild-wp", i)),
+        )
+        for i, (x, y) in enumerate(coords)
+    ]
+    provider = MobilityProvider(models)
+    times = [epoch * window for epoch in range(epochs)]
+    for t in times:
+        provider.positions(t)
+    model = UnitDiskModel(75.0)
+
+    check_grid = NeighborService(provider, model, cache_window=window,
+                                 indexing="grid")
+    check_brute = NeighborService(provider, model, cache_window=window,
+                                  indexing="brute")
+    for t in (times[0], times[-1]):
+        for sender in range(n):
+            if check_grid.links_from(sender, t) != check_brute.links_from(sender, t):
+                raise RuntimeError(
+                    f"grid vs brute link tables diverged at n={n}, t={t}")
+
+    # Interleaved best-of-5 (fresh service each repeat, same min-wall
+    # precedent as the smoke point): shared hosts show multi-second CPU
+    # steal windows, so alternating the passes lets both mins sample the
+    # same quiet periods instead of one path eating a noisy stretch.
+    walls = {"brute": float("inf"), "grid": float("inf")}
+    served = {}
+    for _ in range(5):
+        for mode in ("brute", "grid"):
+            service = NeighborService(provider, model, cache_window=window,
+                                      indexing=mode)
+            count = 0
+            start = perf_counter()
+            for t in times:
+                for sender in range(n):
+                    count += len(service.links_from(sender, t))
+            walls[mode] = min(walls[mode], perf_counter() - start)
+            served[mode] = count
+    if served["grid"] != served["brute"]:
+        raise RuntimeError("grid vs brute served different link counts")
+    links = served["grid"]
+    return {
+        "mode": point["mode"],
+        "protocol": point["protocol"],
+        "seed": point["seed"],
+        "label": point["label"],
+        "kind": "neighbor-rebuild",
+        "n_nodes": n,
+        "epochs": epochs,
+        # Excluded from the report's event-loop aggregate on purpose:
+        # these are link evaluations, not simulator events.
+        "events": 0,
+        "wall_s": 0.0,
+        "eps": None,
+        "links_built": links,
+        "brute_wall_s": walls["brute"],
+        "grid_wall_s": walls["grid"],
+        "links_per_sec_brute": links / walls["brute"] if walls["brute"] > 0 else 0.0,
+        "links_per_sec_grid": links / walls["grid"] if walls["grid"] > 0 else 0.0,
+        "speedup": (walls["brute"] / walls["grid"]) if walls["grid"] > 0 else 0.0,
+        "metrics": {"links_built": links},
+    }
 
 
 def run_bench(points: Sequence[dict], rev: Optional[str] = None,
@@ -199,14 +406,14 @@ def compare(report: dict, baseline: dict,
     owns correctness); it still deserves a loud line in the output.
     """
     by_key: Dict[tuple, dict] = {
-        (p["mode"], p["protocol"], p["seed"]): p for p in baseline.get("points", [])
+        _point_key(p): p for p in baseline.get("points", [])
     }
     ok = True
     lines: List[str] = []
     for point in report.get("points", []):
-        key = (point["mode"], point["protocol"], point["seed"])
+        key = _point_key(point)
         base = by_key.get(key)
-        label = f"{key[0]} {key[1]}/seed{key[2]}"
+        label = _point_label(point)
         if base is None:
             lines.append(f"{label}: no baseline point (new)")
             continue
@@ -220,13 +427,29 @@ def compare(report: dict, baseline: dict,
                 line += f"  REGRESSION (> {max_regression:.0%} slower)"
             lines.append(line)
         if base.get("metrics") != point.get("metrics"):
+            old_metrics = base.get("metrics", {})
+            new_metrics = point.get("metrics", {})
             drifted = sorted(
-                name for name in METRIC_FIELDS
-                if base.get("metrics", {}).get(name) != point.get("metrics", {}).get(name)
+                name for name in set(old_metrics) | set(new_metrics)
+                if old_metrics.get(name) != new_metrics.get(name)
             )
             lines.append(f"{label}: METRIC DRIFT in {', '.join(drifted)} -- "
                          f"same seed no longer reproduces the baseline run")
     return ok, lines
+
+
+def _point_key(point: dict) -> tuple:
+    """Identity of a point across reports. ``label`` distinguishes the
+    scaling-tier points (which share mode/protocol/seed); older baseline
+    files have no labels and key as None, matching unlabeled points."""
+    return (point["mode"], point["protocol"], point["seed"], point.get("label"))
+
+
+def _point_label(point: dict) -> str:
+    label = f"{point['mode']} {point['protocol']}/seed{point['seed']}"
+    if point.get("label"):
+        label += f" [{point['label']}]"
+    return label
 
 
 def render(report: dict) -> str:
@@ -234,12 +457,59 @@ def render(report: dict) -> str:
     lines = [f"rev {report['rev']}: {report['events']} events in "
              f"{report['wall_s']:.2f}s = {report['events_per_sec']:,.0f} ev/s"]
     for point in report["points"]:
-        top = sorted((point.get("subsystem_wall_s") or {}).items(),
-                     key=lambda kv: -kv[1])[:4]
-        subsystems = ", ".join(f"{name}={secs * 1e3:.0f}ms" for name, secs in top)
-        lines.append(
-            f"  {point['mode']} {point['protocol']}/seed{point['seed']}: "
-            f"{point['events']} ev @ {point['eps']:,.0f}/s"
-            + (f"  [{subsystems}]" if subsystems else "")
+        lines.append("  " + render_point(point))
+    return "\n".join(lines)
+
+
+def render_point(point: dict) -> str:
+    """One point's result as a single line (also the progress format)."""
+    if point.get("kind") == "neighbor-rebuild":
+        return (
+            f"{_point_label(point)}: {point['links_built']} links x "
+            f"{point['epochs']} epochs, grid "
+            f"{point['links_per_sec_grid']:,.0f} links/s vs brute "
+            f"{point['links_per_sec_brute']:,.0f} ({point['speedup']:.1f}x)"
         )
+    top = sorted((point.get("subsystem_wall_s") or {}).items(),
+                 key=lambda kv: -kv[1])[:4]
+    subsystems = ", ".join(f"{name}={secs * 1e3:.0f}ms" for name, secs in top)
+    line = (f"{_point_label(point)}: "
+            f"{point['events']} ev @ {point['eps']:,.0f}/s")
+    if point.get("brute_eps"):
+        line += (f" (brute rerun {point['brute_eps']:,.0f}/s, "
+                 f"{point.get('e2e_speedup_vs_brute', 0.0):.2f}x e2e)")
+    if subsystems:
+        line += f"  [{subsystems}]"
+    return line
+
+
+def markdown_table(report: dict, baseline: Optional[dict] = None) -> str:
+    """A GitHub-flavored markdown comparison table (for CI job summaries).
+
+    One row per point: current events/sec against the committed
+    baseline's. Rebuild points report link evaluations/sec and their
+    grid-over-brute speedup instead.
+    """
+    by_key: Dict[tuple, dict] = {
+        _point_key(p): p for p in (baseline or {}).get("points", [])
+    }
+    lines = ["| point | events/sec | baseline | ratio |",
+             "| --- | ---: | ---: | ---: |"]
+    for point in report.get("points", []):
+        base = by_key.get(_point_key(point))
+        if point.get("kind") == "neighbor-rebuild":
+            current = f"{point['links_per_sec_grid']:,.0f} links/s"
+            base_eps = (base or {}).get("links_per_sec_grid")
+            base_cell = f"{base_eps:,.0f} links/s" if base_eps else "--"
+            ratio = (f"{point['links_per_sec_grid'] / base_eps:.2f}x"
+                     if base_eps else f"{point['speedup']:.1f}x vs brute")
+            lines.append(f"| {_point_label(point)} | {current} "
+                         f"| {base_cell} | {ratio} |")
+            continue
+        eps = point.get("eps") or 0.0
+        base_eps = (base or {}).get("eps") or 0.0
+        ratio = f"{eps / base_eps:.2f}x" if base_eps > 0 else "--"
+        base_cell = f"{base_eps:,.0f}" if base_eps > 0 else "--"
+        lines.append(f"| {_point_label(point)} | {eps:,.0f} "
+                     f"| {base_cell} | {ratio} |")
     return "\n".join(lines)

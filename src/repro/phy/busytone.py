@@ -106,11 +106,14 @@ class BusyToneChannel:
         if emitter in self._active:
             raise RuntimeError(f"node {emitter} already emits {self.tone.value}")
         now = self._sim.now
-        links = self._neighbors.links_from(emitter, now)
+        table = self._neighbors.table_from(emitter, now)
         faults = self._faults
         suppressed = False
         if faults is None:
-            link_delays = {l.node: l.delay_ns for l in links}
+            # Shared, lazily-built view: every emission in the same bucket
+            # epoch reuses one dict instead of re-deriving its own.
+            # _Emission only ever reads it (.get/.items), never mutates.
+            link_delays = table.delay_map
         elif faults.node_down(emitter, now):
             # A crashed emitter's tone reaches nobody. The emission is
             # still registered (with no listeners) so the MAC's matching
@@ -123,7 +126,7 @@ class BusyToneChannel:
                                   tone=self.tone.value)
         else:
             # Deaf listeners (crashed at emission start) sense nothing.
-            link_delays = {l.node: l.delay_ns for l in links
+            link_delays = {l.node: l.delay_ns for l in table.links
                            if not faults.node_down(l.node, now)}
         emission = _Emission(emitter, now, link_delays, suppressed=suppressed)
         self._active[emitter] = emission

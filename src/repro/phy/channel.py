@@ -203,7 +203,7 @@ class DataChannel:
             raise RuntimeError(f"node {sender} is already transmitting")
         now = self._sim.now
         airtime = self._phy.frame_airtime(frame.size_bytes)  # type: ignore[attr-defined]
-        links = self._neighbors.links_from(sender, now)
+        links = self._neighbors.table_from(sender, now).links
         tx = Transmission(sender, frame, now, airtime, links)
         self._transmitting[sender] = tx
         # Transmitting while receiving destroys the ongoing receptions

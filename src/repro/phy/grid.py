@@ -1,0 +1,132 @@
+"""Uniform spatial hashing for neighbor-candidate pruning.
+
+``NeighborService`` needs, for every sender, the set of nodes within the
+propagation model's ``max_range()``. The brute-force answer is an O(n)
+distance pass per sender -- O(n^2) per mobility bucket, which is exactly
+the per-bucket cost that caps topology size (ROADMAP: "as fast as the
+hardware allows" at 1000+ nodes).
+
+A :class:`SpatialGrid` buckets positions into square cells of side
+``cell_size``. When ``cell_size >= max_range``, any two nodes within
+``max_range`` of each other differ by at most 1 in each floor-cell
+coordinate, so every sender's true neighbor set is contained in its
+3 x 3 cell neighborhood. Candidate generation therefore touches at most
+9 cells per sender instead of all n nodes, and the caller only has to
+re-check the exact distance predicate on that superset.
+
+Implementation notes (all-numpy; no per-cell Python loop):
+
+* Cells are keyed by a single integer ``cx * M + cy`` with
+  ``M = max(cy) + 2``. Coordinates are shifted non-negative first, so a
+  probe at ``cy - 1`` or ``cy + 1`` encodes to a key no *real* cell can
+  own (``M - 1`` and ``max(cy) + 1`` are outside the occupied cy range)
+  -- the sentinel rows make the 9 fixed key offsets collision-free.
+* Occupied cells are found once with argsort + ``np.unique``; each of
+  the 9 neighbor offsets is then resolved for *all* nodes at once with
+  one ``searchsorted`` probe, and member ranges are expanded with a
+  cumulative-sum trick (:func:`expand_ranges`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Relative key offsets of the 3 x 3 cell neighborhood, as deltas on the
+#: flattened ``cx * M + cy`` key (filled in per-grid since M varies).
+_NEIGHBOR_OFFSETS = ((-1, -1), (-1, 0), (-1, 1),
+                     (0, -1), (0, 0), (0, 1),
+                     (1, -1), (1, 0), (1, 1))
+
+
+def expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, e) for s, e in zip(starts, ends)]`` without
+    a Python loop. Every range must be non-empty (``ends > starts``)."""
+    counts = ends - starts
+    total = int(counts.sum())
+    out = np.ones(total, dtype=np.int64)
+    boundaries = np.cumsum(counts[:-1])
+    out[0] = starts[0]
+    # At each range boundary, jump from the previous range's last index
+    # (ends[i-1] - 1) to the next range's first (starts[i]).
+    out[boundaries] = starts[1:] - ends[:-1] + 1
+    return np.cumsum(out)
+
+
+class SpatialGrid:
+    """An immutable uniform grid over one snapshot of node positions."""
+
+    __slots__ = ("cell_size", "n", "n_cells", "_keys", "_key_offsets",
+                 "_order", "_uniq_keys", "_starts", "_ends")
+
+    def __init__(self, positions: np.ndarray, cell_size: float):
+        pos = np.asarray(positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError("positions must be an (N, 2) array-like")
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self.n = len(pos)
+        cells = np.floor(pos / self.cell_size).astype(np.int64)
+        if self.n:
+            cells -= cells.min(axis=0)
+            mult = int(cells[:, 1].max()) + 2
+        else:
+            mult = 2
+        keys = cells[:, 0] * mult + cells[:, 1] if self.n else np.empty(0, np.int64)
+        order = np.argsort(keys, kind="stable")
+        uniq, starts = np.unique(keys[order], return_index=True)
+        self._keys = keys
+        self._key_offsets = tuple(dx * mult + dy for dx, dy in _NEIGHBOR_OFFSETS)
+        self._order = order
+        self._uniq_keys = uniq
+        self._starts = starts
+        self._ends = np.append(starts[1:], self.n)
+        #: Number of occupied cells (telemetry: cells touched per rebuild).
+        self.n_cells = len(uniq)
+
+    def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All (sender, candidate) index pairs from the 3 x 3 neighborhoods.
+
+        Self-pairs are included (the caller filters them with the rest of
+        the distance predicate). For every pair actually within
+        ``cell_size`` of each other, both orientations appear -- this is
+        the superset the exact distance check then prunes.
+        """
+        n = self.n
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        uniq, starts, ends = self._uniq_keys, self._starts, self._ends
+        keys, order = self._keys, self._order
+        last = len(uniq) - 1
+        senders = []
+        candidates = []
+        for offset in self._key_offsets:
+            probe = keys + offset
+            idx = np.searchsorted(uniq, probe)
+            np.minimum(idx, last, out=idx)
+            hit = np.flatnonzero(uniq[idx] == probe)
+            if hit.size == 0:
+                continue
+            cell = idx[hit]
+            cell_starts, cell_ends = starts[cell], ends[cell]
+            senders.append(np.repeat(hit, cell_ends - cell_starts))
+            candidates.append(order[expand_ranges(cell_starts, cell_ends)])
+        return np.concatenate(senders), np.concatenate(candidates)
+
+    def candidates_of(self, node: int) -> np.ndarray:
+        """Candidate node ids for one sender (sorted, includes ``node``)."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"unknown node id {node}")
+        key = int(self._keys[node])
+        uniq, starts, ends, order = (self._uniq_keys, self._starts,
+                                     self._ends, self._order)
+        chunks = []
+        for offset in self._key_offsets:
+            probe = key + offset
+            i = int(np.searchsorted(uniq, probe))
+            if i < len(uniq) and uniq[i] == probe:
+                chunks.append(order[starts[i]:ends[i]])
+        return np.sort(np.concatenate(chunks))

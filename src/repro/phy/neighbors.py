@@ -6,7 +6,7 @@ it and the per-link propagation delay. This module centralizes that
 computation over a position provider:
 
 * static scenarios: every sender's link table is computed once and frozen
-  into a plain tuple (later calls are a single list index);
+  (later calls are a single list index);
 * mobile scenarios: positions are bucketed to a configurable window
   (default 50 ms -- at the paper's top speed of 8 m/s a node moves 0.4 mm
   per us and 0.4 m per 50 ms, negligible against the 75 m radio range),
@@ -14,20 +14,47 @@ computation over a position provider:
   and positions can never disagree mid-window. Set ``cache_window=0``
   for exact per-call evaluation.
 
-Distances are computed with numpy against all node positions at once.
+Two interchangeable link-computation paths:
+
+* **brute** -- the reference: one O(n) numpy distance pass per sender,
+  then a Python loop over the in-range candidates
+  (:meth:`NeighborService._compute_links`). Computed lazily, one sender
+  at a time, on cache miss.
+* **grid** -- a :class:`~repro.phy.grid.SpatialGrid` (cell size = the
+  model's ``max_range()``) prunes candidates to the 3 x 3 cell
+  neighborhoods. Dense buckets (>=25% of senders queried, judged from
+  the previous bucket's traffic or detected mid-bucket) rebuild *all*
+  link tables in one batched numpy pass: distances, ``carrier_sensed``/
+  ``in_range`` masks, received powers and propagation delays are
+  array-evaluated at once. Sparse buckets are served sender by sender
+  against the bucket's grid, so light traffic never pays for tables
+  nobody asks for. Both flavors are bit-identical to brute by
+  construction (same float64 operations element-wise, same candidate
+  ordering); the property suite in ``tests/properties`` enforces it.
+
+``indexing="auto"`` (the default) picks brute below
+:data:`GRID_THRESHOLD` nodes -- at small n the batched rebuild has no
+advantage and the committed benchmark baselines exercise the original
+path byte-for-byte -- and grid at or above it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from itertools import repeat
+from typing import Dict, List, NamedTuple, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from repro.phy.grid import SpatialGrid
 from repro.phy.propagation import PropagationModel
 
 #: Speed of light in meters per nanosecond.
 _LIGHT_SPEED_M_PER_NS = 0.299792458
+
+#: ``indexing="auto"`` switches from brute to grid at this node count.
+GRID_THRESHOLD = 64
+
+INDEXING_MODES = ("auto", "grid", "brute")
 
 
 def propagation_delay_ns(distance_m: float) -> int:
@@ -64,9 +91,14 @@ class StaticPositions:
         return len(self._coords)
 
 
-@dataclass(frozen=True)
-class Link:
-    """One receiver of a transmission: its id, link delay, decodability."""
+class Link(NamedTuple):
+    """One receiver of a transmission: its id, link delay, decodability.
+
+    A NamedTuple (not a dataclass): the batched rebuild constructs tens
+    of thousands of these per bucket epoch and tuple construction is
+    several times cheaper, while field access, equality and positional
+    construction stay source-compatible.
+    """
 
     node: int
     delay_ns: int
@@ -77,6 +109,59 @@ class Link:
     power_dbm: Optional[float] = None
 
 
+class LinkTable:
+    """One sender's links for one bucket epoch, plus derived views.
+
+    ``delay_map`` (node -> delay_ns) is built lazily and shared by every
+    busy-tone emission in the epoch, instead of each emission re-deriving
+    its own dict from the links.
+    """
+
+    __slots__ = ("links", "_delay_map")
+
+    def __init__(self, links: Tuple[Link, ...]):
+        self.links = links
+        self._delay_map: Optional[Dict[int, int]] = None
+
+    @property
+    def delay_map(self) -> Dict[int, int]:
+        mapping = self._delay_map
+        if mapping is None:
+            mapping = {link.node: link.delay_ns for link in self.links}
+            self._delay_map = mapping
+        return mapping
+
+
+class NeighborCounters:
+    """Plain counters for the neighbor layer (telemetry satellite).
+
+    ``table_hits``/``table_misses`` count :meth:`NeighborService.table_from`
+    calls served from a cached table vs ones that (re)computed;
+    ``table_rebuilds`` counts whole-bucket batched rebuilds on the grid
+    path; ``links_built`` counts Link objects constructed;
+    ``grid_cells``/``grid_pairs`` accumulate occupied cells and candidate
+    pairs touched per rebuild; ``pos_cache_*`` count the mobility
+    position-snapshot cache.
+    """
+
+    __slots__ = ("table_hits", "table_misses", "table_rebuilds",
+                 "links_built", "grid_cells", "grid_pairs",
+                 "pos_cache_hits", "pos_cache_misses")
+
+    def __init__(self):
+        self.table_hits = 0
+        self.table_misses = 0
+        self.table_rebuilds = 0
+        self.links_built = 0
+        self.grid_cells = 0
+        self.grid_pairs = 0
+        self.pos_cache_hits = 0
+        self.pos_cache_misses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class NeighborService:
     """Computes and caches per-sender neighbor/link information."""
 
@@ -85,79 +170,279 @@ class NeighborService:
         provider: PositionProvider,
         model: PropagationModel,
         cache_window: int = 50_000_000,
+        indexing: str = "auto",
+        grid_threshold: int = GRID_THRESHOLD,
     ):
+        if indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"indexing must be one of {INDEXING_MODES}, got {indexing!r}")
         self._provider = provider
         self._model = model
         self._static = provider.is_static()
         self._cache_window = int(cache_window)
-        #: Static scenarios: per-sender link tables frozen into plain
-        #: tuples, indexed by sender id (no dict lookup, no recompute).
-        self._frozen: Optional[List[Tuple[Link, ...]]] = None
-        #: Mobile scenarios: sender -> (position bucket, links). An entry
-        #: is valid iff its bucket equals the bucket of the query time --
-        #: one integer comparison, and links can never disagree with what
-        #: ``positions_at`` returns for the same time.
-        self._cache: Dict[int, Tuple[int, Tuple[Link, ...]]] = {}
-        self._pos_cache_time: int = -1
-        self._pos_cache: np.ndarray | None = None
+        self._indexing = indexing
+        self._grid_threshold = int(grid_threshold)
+        #: Resolved lazily on first use (needs the node count): True =>
+        #: whole-bucket batched rebuilds, False => lazy per-sender brute.
+        self._grid_active: Optional[bool] = None
+        #: Static scenarios (either path) and mobile grid scenarios: one
+        #: LinkTable per sender, indexed by sender id.
+        self._tables: Optional[List[LinkTable]] = None
+        #: Bucket epoch ``_tables`` was built for (mobile grid path).
+        self._tables_bucket: int = -1
+        #: Mobile brute path and sparse grid buckets: sender -> (position
+        #: bucket, table). An entry is valid iff its bucket equals the
+        #: bucket of the query time -- one integer comparison, and links
+        #: can never disagree with what ``positions_at`` returns for the
+        #: same time.
+        self._cache: Dict[int, Tuple[int, LinkTable]] = {}
+        #: Mobile grid path: bucket epoch the density bookkeeping below
+        #: refers to, per-sender queried-this-bucket flags, and the
+        #: distinct-sender count. The previous bucket's density decides
+        #: whether the next one rebuilds eagerly or serves lazily.
+        self._grid_bucket: int = -1
+        self._grid_seen: int = 0
+        self._grid_seen_flags: Optional[bytearray] = None
+        #: Per-bucket spatial index for lazily served (sparse) buckets.
+        self._lazy_grid: Optional[SpatialGrid] = None
+        #: Two-slot LRU of position snapshots, keyed by bucket epoch.
+        #: One slot thrashes when two different times are interleaved
+        #: (e.g. an oracle or trace lookback alongside the live clock);
+        #: two slots make that access pattern all hits.
+        self._pos_buckets: List[int] = [-1, -1]
+        self._pos_arrays: List[Optional[np.ndarray]] = [None, None]
+        self._pos_mru: int = 0
+        self.counters = NeighborCounters()
 
     @property
     def model(self) -> PropagationModel:
         return self._model
+
+    @property
+    def indexing(self) -> str:
+        """The configured indexing mode (``auto``/``grid``/``brute``)."""
+        return self._indexing
+
+    def force_indexing(self, mode: str) -> None:
+        """Switch indexing mode and drop caches (benchmark/test hook).
+
+        Lets a benchmark run the same built network on both paths without
+        touching :class:`~repro.world.network.ScenarioConfig` (and hence
+        without perturbing any ``config_hash``).
+        """
+        if mode not in INDEXING_MODES:
+            raise ValueError(
+                f"indexing must be one of {INDEXING_MODES}, got {mode!r}")
+        self._indexing = mode
+        self._grid_active = None
+        self._tables = None
+        self._tables_bucket = -1
+        self._cache.clear()
+        self._grid_bucket = -1
+        self._grid_seen = 0
+        self._grid_seen_flags = None
+        self._lazy_grid = None
 
     def _bucket(self, time_ns: int) -> int:
         """The position-bucket epoch ``time_ns`` falls into."""
         window = self._cache_window
         return time_ns if window == 0 else time_ns - time_ns % window
 
+    def _use_grid(self, n: int) -> bool:
+        mode = self._indexing
+        if mode == "grid":
+            return True
+        if mode == "brute":
+            return False
+        return n >= self._grid_threshold
+
     def positions_at(self, time_ns: int) -> np.ndarray:
         """Positions at ``time_ns`` (cached within the mobility window)."""
+        arrays = self._pos_arrays
         if self._static:
-            if self._pos_cache is None:
-                self._pos_cache = self._provider.positions(0)
-            return self._pos_cache
+            pos = arrays[0]
+            if pos is None:
+                pos = self._provider.positions(0)
+                arrays[0] = pos
+            return pos
         bucket = self._bucket(time_ns)
-        if bucket != self._pos_cache_time:
-            self._pos_cache = self._provider.positions(bucket)
-            self._pos_cache_time = bucket
-        assert self._pos_cache is not None
-        return self._pos_cache
+        buckets = self._pos_buckets
+        mru = self._pos_mru
+        counters = self.counters
+        if buckets[mru] == bucket:
+            counters.pos_cache_hits += 1
+            return arrays[mru]  # type: ignore[return-value]
+        lru = 1 - mru
+        if buckets[lru] == bucket:
+            counters.pos_cache_hits += 1
+            self._pos_mru = lru
+            return arrays[lru]  # type: ignore[return-value]
+        counters.pos_cache_misses += 1
+        pos = self._provider.positions(bucket)
+        buckets[lru] = bucket
+        arrays[lru] = pos
+        self._pos_mru = lru
+        return pos
 
     def links_from(self, sender: int, time_ns: int) -> Tuple[Link, ...]:
         """All nodes that sense a transmission from ``sender`` at ``time_ns``.
 
         Excludes the sender itself. For each, reports the propagation delay
         and whether the node can actually decode (vs carrier-sense only).
+        """
+        return self.table_from(sender, time_ns).links
+
+    def table_from(self, sender: int, time_ns: int) -> LinkTable:
+        """The sender's :class:`LinkTable` at ``time_ns``.
 
         Static providers are frozen on first use: every sender's table is
-        precomputed into a plain tuple and later calls are a single list
-        index. Mobile providers key the cache on the position-bucket
-        epoch, so cached links are exactly the ones implied by
-        ``positions_at`` at the same time -- never a stale set left over
-        from the previous bucket.
+        precomputed and later calls are a single list index. Mobile
+        providers key caching on the position-bucket epoch, so cached
+        links are exactly the ones implied by ``positions_at`` at the
+        same time -- never a stale set left over from the previous
+        bucket. The grid path adapts to query density per bucket: when
+        the previous bucket queried >=25% of the senders (or this one
+        does, mid-bucket), *all* tables are rebuilt in one batched numpy
+        pass; sparse buckets are served sender by sender against the
+        bucket's spatial index, so light traffic never pays for tables
+        nobody asks for.
         """
+        counters = self.counters
         if self._static:
-            frozen = self._frozen
-            if frozen is None:
-                frozen = self._freeze()
-            if not 0 <= sender < len(frozen):
+            tables = self._tables
+            if tables is None:
+                tables = self._freeze()
+            if not 0 <= sender < len(tables):
                 raise ValueError(f"unknown sender id {sender}")
-            return frozen[sender]
+            counters.table_hits += 1
+            return tables[sender]
         bucket = self._bucket(time_ns)
+        grid = self._grid_active
+        if grid is None:
+            grid = self._grid_active = self._use_grid(len(self.positions_at(time_ns)))
+        if grid:
+            flags = self._grid_seen_flags
+            rebuilt = False
+            if bucket != self._grid_bucket:
+                pos = self.positions_at(time_ns)
+                n = len(pos)
+                dense = self._grid_seen * 4 >= n
+                self._grid_bucket = bucket
+                self._grid_seen = 0
+                flags = self._grid_seen_flags = bytearray(n)
+                self._lazy_grid = None
+                if dense:
+                    counters.table_misses += 1
+                    self._tables = self._build_tables(pos)
+                    self._tables_bucket = bucket
+                    rebuilt = True
+            if not 0 <= sender < len(flags):  # type: ignore[arg-type]
+                raise ValueError(f"unknown sender id {sender}")
+            if not flags[sender]:  # type: ignore[index]
+                flags[sender] = 1  # type: ignore[index]
+                self._grid_seen += 1
+            if bucket == self._tables_bucket:
+                if not rebuilt:
+                    counters.table_hits += 1
+                return self._tables[sender]  # type: ignore[index]
+            cached = self._cache.get(sender)
+            if cached is not None and cached[0] == bucket:
+                counters.table_hits += 1
+                return cached[1]
+            counters.table_misses += 1
+            if self._grid_seen * 4 >= len(flags):  # type: ignore[arg-type]
+                # The bucket turned dense mid-flight: one batched rebuild
+                # now beats continuing sender by sender.
+                tables = self._build_tables(self.positions_at(time_ns))
+                self._tables = tables
+                self._tables_bucket = bucket
+                return tables[sender]
+            lazy = self._lazy_grid
+            if lazy is None:
+                lazy = self._lazy_grid = SpatialGrid(
+                    self.positions_at(time_ns), self._model.max_range())
+                counters.grid_cells += lazy.n_cells
+            table = LinkTable(self._compute_links_pruned(sender, time_ns, lazy))
+            counters.links_built += len(table.links)
+            self._cache[sender] = (bucket, table)
+            return table
         cached = self._cache.get(sender)
         if cached is not None and cached[0] == bucket:
+            counters.table_hits += 1
             return cached[1]
-        links = self._compute_links(sender, time_ns)
-        self._cache[sender] = (bucket, links)
-        return links
+        counters.table_misses += 1
+        table = LinkTable(self._compute_links(sender, time_ns))
+        counters.links_built += len(table.links)
+        self._cache[sender] = (bucket, table)
+        return table
 
-    def _freeze(self) -> List[Tuple[Link, ...]]:
+    def _freeze(self) -> List[LinkTable]:
         """Precompute every sender's link table (static providers only)."""
-        n = len(self.positions_at(0))
-        self._frozen = [self._compute_links(sender, 0) for sender in range(n)]
-        return self._frozen
+        pos = self.positions_at(0)
+        n = len(pos)
+        if self._grid_active is None:
+            self._grid_active = self._use_grid(n)
+        if self._grid_active:
+            tables = self._build_tables(pos)
+        else:
+            tables = [LinkTable(self._compute_links(sender, 0)) for sender in range(n)]
+            self.counters.links_built += sum(len(t.links) for t in tables)
+        self._tables = tables
+        return tables
+
+    def _build_tables(self, pos: np.ndarray) -> List[LinkTable]:
+        """All senders' link tables in one batched numpy pass (grid path).
+
+        Exactness contract vs :meth:`_compute_links`: identical float64
+        element-wise operations (subtract / ``np.hypot`` / divide /
+        ``np.rint`` == banker's ``round``), the model's ``*_batch``
+        predicates agree bit-for-bit with their scalar forms, and the
+        lexsort reproduces brute's per-sender ascending-node order.
+        """
+        model = self._model
+        counters = self.counters
+        n = len(pos)
+        counters.table_rebuilds += 1
+        max_range = model.max_range()
+        grid = SpatialGrid(pos, max_range)
+        senders, cands = grid.pairs()
+        counters.grid_cells += grid.n_cells
+        counters.grid_pairs += len(senders)
+        keep = senders != cands
+        senders, cands = senders[keep], cands[keep]
+        dists = np.hypot(pos[cands, 0] - pos[senders, 0],
+                         pos[cands, 1] - pos[senders, 1])
+        keep = dists <= max_range
+        senders, cands, dists = senders[keep], cands[keep], dists[keep]
+        sensed = model.carrier_sensed_batch(dists)
+        if not sensed.all():
+            senders, cands, dists = senders[sensed], cands[sensed], dists[sensed]
+        order = np.lexsort((cands, senders))
+        senders, cands, dists = senders[order], cands[order], dists[order]
+        delays = np.rint(dists / _LIGHT_SPEED_M_PER_NS)
+        np.maximum(delays, 1.0, out=delays)
+        in_rx = model.in_range_batch(dists)
+        nodes_list = cands.tolist()
+        delays_list = delays.astype(np.int64).tolist()
+        in_rx_list = in_rx.tolist()
+        power_batch = getattr(model, "received_power_dbm_batch", None)
+        if power_batch is None:
+            powers_list = repeat(None)
+        else:
+            powers_list = power_batch(dists).tolist()
+        # tuple.__new__ skips the namedtuple __new__ wrapper (~2x cheaper
+        # per link; construction dominates the rebuild at large n). The
+        # zip always supplies all four fields, so the result is the same
+        # 4-tuple Link(_compute_links) would build, defaults included.
+        flat = list(map(tuple.__new__, repeat(Link),
+                        zip(nodes_list, delays_list, in_rx_list, powers_list)))
+        counters.links_built += len(flat)
+        bounds = np.searchsorted(senders, np.arange(n + 1)).tolist()
+        return [LinkTable(tuple(flat[bounds[s]:bounds[s + 1]]))
+                for s in range(n)]
 
     def _compute_links(self, sender: int, time_ns: int) -> Tuple[Link, ...]:
+        """The brute-force reference: one sender, one O(n) distance pass."""
         pos = self.positions_at(time_ns)
         if not 0 <= sender < len(pos):
             raise ValueError(f"unknown sender id {sender}")
@@ -184,6 +469,44 @@ class NeighborService:
             )
         return tuple(links)
 
+    def _compute_links_pruned(self, sender: int, time_ns: int,
+                              grid: SpatialGrid) -> Tuple[Link, ...]:
+        """One sender's links against its 3x3 cell neighborhood only.
+
+        The sparse-bucket path: same scalar loop as
+        :meth:`_compute_links`, but over ``grid.candidates_of(sender)``
+        (a sorted superset of every node within ``max_range``) instead
+        of all n nodes. Distances come from the identical element-wise
+        subtract/``np.hypot``, candidates are visited in the same
+        ascending-node order, and every per-link scalar call is the
+        same -- so the result is bit-identical to brute.
+        """
+        pos = self.positions_at(time_ns)
+        cand = grid.candidates_of(sender)
+        deltas = pos[cand] - pos[sender]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        links: List[Link] = []
+        model = self._model
+        max_range = model.max_range()
+        power_fn = getattr(model, "received_power_dbm", None)
+        for idx in np.flatnonzero(dists <= max_range):
+            node = int(cand[idx])
+            if node == sender:
+                continue
+            d = float(dists[idx])
+            if not model.carrier_sensed(d):
+                continue
+            power = power_fn(d) if power_fn is not None else None
+            links.append(
+                Link(
+                    node=node,
+                    delay_ns=propagation_delay_ns(d),
+                    in_rx_range=model.in_range(d),
+                    power_dbm=float(power) if power is not None else None,
+                )
+            )
+        return tuple(links)
+
     def distance(self, a: int, b: int, time_ns: int) -> float:
         """Distance in meters between nodes ``a`` and ``b`` at ``time_ns``."""
         pos = self.positions_at(time_ns)
@@ -195,7 +518,13 @@ class NeighborService:
 
     def invalidate(self) -> None:
         """Drop all cached neighbor sets (used by tests and topology changes)."""
-        self._frozen = None
+        self._tables = None
+        self._tables_bucket = -1
         self._cache.clear()
-        self._pos_cache = None
-        self._pos_cache_time = -1
+        self._grid_bucket = -1
+        self._grid_seen = 0
+        self._grid_seen_flags = None
+        self._lazy_grid = None
+        self._pos_buckets = [-1, -1]
+        self._pos_arrays = [None, None]
+        self._pos_mru = 0

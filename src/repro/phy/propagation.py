@@ -10,12 +10,22 @@ where a fading model would plug in.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 
 class PropagationModel(ABC):
-    """Decides whether a transmission is receivable and senseable."""
+    """Decides whether a transmission is receivable and senseable.
+
+    The scalar predicates are the reference semantics; the ``*_batch``
+    variants evaluate a whole distance array at once for the vectorized
+    link-table rebuild (see :mod:`repro.phy.neighbors`). The base-class
+    batch fallbacks call the scalar predicate per element, so any
+    subclass is automatically batch-correct; the built-in models
+    override them with true array expressions that are bit-identical to
+    their scalar forms.
+    """
 
     @abstractmethod
     def in_range(self, distance: float) -> bool:
@@ -32,6 +42,16 @@ class PropagationModel(ABC):
         radios sense further than they decode).
         """
         return self.in_range(distance)
+
+    def in_range_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`in_range` (bool array, same shape)."""
+        return np.fromiter((self.in_range(float(d)) for d in distances),
+                           dtype=bool, count=len(distances))
+
+    def carrier_sensed_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`carrier_sensed` (bool array, same shape)."""
+        return np.fromiter((self.carrier_sensed(float(d)) for d in distances),
+                           dtype=bool, count=len(distances))
 
 
 class UnitDiskModel(PropagationModel):
@@ -50,6 +70,12 @@ class UnitDiskModel(PropagationModel):
 
     def carrier_sensed(self, distance: float) -> bool:
         return distance <= self.sense_range
+
+    def in_range_batch(self, distances: np.ndarray) -> np.ndarray:
+        return distances <= self.radio_range
+
+    def carrier_sensed_batch(self, distances: np.ndarray) -> np.ndarray:
+        return distances <= self.sense_range
 
     def max_range(self) -> float:
         return self.sense_range
@@ -87,9 +113,23 @@ class LogDistanceModel(PropagationModel):
         self.cs_threshold_dbm = cs_threshold_dbm
 
     def received_power_dbm(self, distance: float) -> float:
-        """Received power at ``distance`` meters (clamped to d0 up close)."""
+        """Received power at ``distance`` meters (clamped to d0 up close).
+
+        Routed through ``np.log10`` (not ``math.log10``): numpy's log10
+        can differ from libm's by 1 ulp, and the scalar and batch paths
+        must agree bit-for-bit for the grid path's "bit-identical
+        results" contract to hold.
+        """
         d = max(distance, self.reference_distance)
-        loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+        loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * float(
+            np.log10(d / self.reference_distance)
+        )
+        return self.tx_power_dbm - loss
+
+    def received_power_dbm_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`received_power_dbm` (float array, same shape)."""
+        d = np.maximum(distances, self.reference_distance)
+        loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * np.log10(
             d / self.reference_distance
         )
         return self.tx_power_dbm - loss
@@ -103,6 +143,12 @@ class LogDistanceModel(PropagationModel):
 
     def carrier_sensed(self, distance: float) -> bool:
         return self.received_power_dbm(distance) >= self.cs_threshold_dbm
+
+    def in_range_batch(self, distances: np.ndarray) -> np.ndarray:
+        return self.received_power_dbm_batch(distances) >= self.rx_threshold_dbm
+
+    def carrier_sensed_batch(self, distances: np.ndarray) -> np.ndarray:
+        return self.received_power_dbm_batch(distances) >= self.cs_threshold_dbm
 
     def max_range(self) -> float:
         return self._range_for_threshold(self.cs_threshold_dbm)

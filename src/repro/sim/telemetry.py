@@ -54,10 +54,14 @@ class TelemetryReport:
     heap_depth_max: int
     heap_depth_mean: float
     heap_depth_last: int
+    #: Named counter sections contributed by subsystems outside the event
+    #: loop (e.g. ``"neighbors"`` -> link-table rebuild/cache counters).
+    #: Each payload must be a flat JSON-serializable dict.
+    sections: Dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """A JSON-serializable dict (stable key order for diffs)."""
-        return {
+        out = {
             "events": self.events,
             "wall_s": self.wall_s,
             "events_per_sec": self.events_per_sec,
@@ -75,6 +79,9 @@ class TelemetryReport:
                 sorted(self.subsystem_wall_s.items(), key=lambda kv: -kv[1])
             ),
         }
+        for name in sorted(self.sections):
+            out[name] = dict(self.sections[name])
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -101,6 +108,11 @@ class TelemetryReport:
             lines.append("subsystem wall  " + ", ".join(
                 f"{name or '(unlabeled)'}={secs * 1e3:.1f}ms"
                 for name, secs in top_subsystems
+            ))
+        for name in sorted(self.sections):
+            payload = self.sections[name]
+            lines.append(f"{name:<15} " + ", ".join(
+                f"{key}={value}" for key, value in payload.items()
             ))
         return "\n".join(lines)
 
@@ -129,6 +141,8 @@ class Telemetry:
         #: re-split (and re-allocate) the same handful of label strings.
         self._subsystem_of: Dict[str, str] = {}
         self.heap_samples: List[int] = []
+        #: Named counter sections (see :attr:`TelemetryReport.sections`).
+        self.sections: Dict[str, dict] = {}
         self.events = 0
         self.wall_s = 0.0
         self._last_heap_depth = 0
@@ -146,6 +160,16 @@ class Telemetry:
     def detach(self, sim) -> None:
         """Disarm; the simulator returns to the zero-overhead path."""
         sim.set_telemetry(None)
+
+    # ------------------------------------------------------------------
+    def set_section(self, name: str, payload: dict) -> None:
+        """Attach (or replace) a named counter section for the report.
+
+        For subsystems that keep their own counters off the event-loop
+        hot path (the neighbor layer, caches, ...): set once before
+        :meth:`report` with the final values.
+        """
+        self.sections[name] = dict(payload)
 
     # ------------------------------------------------------------------
     def record(self, label: str, duration_s: float, heap_depth: int) -> None:
@@ -191,4 +215,6 @@ class Telemetry:
             heap_depth_max=max(samples),
             heap_depth_mean=sum(samples) / len(samples),
             heap_depth_last=self._last_heap_depth,
+            sections={name: dict(payload)
+                      for name, payload in self.sections.items()},
         )

@@ -287,6 +287,13 @@ class Network:
         return self.summary()
 
     def summary(self) -> RunSummary:
+        if self.telemetry is not None:
+            # Neighbor-layer counters (link-table rebuilds, cache hits/
+            # misses, grid cells/pairs touched) ride along in the
+            # telemetry report as a named section.
+            self.telemetry.set_section(
+                "neighbors", self.testbed.neighbors.counters.as_dict()
+            )
         return summarize(
             self.config.protocol,
             self.metrics,

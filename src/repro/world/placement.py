@@ -15,15 +15,30 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.phy.grid import SpatialGrid
 
-def _unit_disk_adjacency(coords: np.ndarray, radio_range: float) -> List[List[int]]:
-    deltas = coords[:, None, :] - coords[None, :, :]
-    dists = np.hypot(deltas[..., 0], deltas[..., 1])
-    adjacency: List[List[int]] = []
-    n = len(coords)
-    for i in range(n):
-        adjacency.append([j for j in range(n) if j != i and dists[i, j] <= radio_range])
-    return adjacency
+
+def _unit_disk_adjacency_csr(
+    coords: np.ndarray, radio_range: float
+) -> Tuple[np.ndarray, List[int]]:
+    """Unit-disk adjacency as (neighbor ids, per-node CSR bounds).
+
+    Grid-pruned: candidate pairs come from 3 x 3 cell neighborhoods
+    instead of the full n x n distance matrix, so connectivity checks on
+    1000-node placement draws stay cheap (they re-run per rejected draw).
+    """
+    grid = SpatialGrid(coords, radio_range)
+    senders, cands = grid.pairs()
+    keep = senders != cands
+    senders, cands = senders[keep], cands[keep]
+    dists = np.hypot(coords[cands, 0] - coords[senders, 0],
+                     coords[cands, 1] - coords[senders, 1])
+    keep = dists <= radio_range
+    senders, cands = senders[keep], cands[keep]
+    order = np.argsort(senders, kind="stable")
+    senders, cands = senders[order], cands[order]
+    bounds = np.searchsorted(senders, np.arange(len(coords) + 1)).tolist()
+    return cands, bounds
 
 
 def connected_components(
@@ -31,7 +46,7 @@ def connected_components(
 ) -> List[List[int]]:
     """Connected components of the unit-disk graph, each sorted by id."""
     arr = np.asarray(coords, dtype=float)
-    adjacency = _unit_disk_adjacency(arr, radio_range)
+    neighbors, bounds = _unit_disk_adjacency_csr(arr, radio_range)
     seen = [False] * len(arr)
     components: List[List[int]] = []
     for start in range(len(arr)):
@@ -43,7 +58,7 @@ def connected_components(
         while stack:
             node = stack.pop()
             component.append(node)
-            for neighbor in adjacency[node]:
+            for neighbor in neighbors[bounds[node]:bounds[node + 1]].tolist():
                 if not seen[neighbor]:
                     seen[neighbor] = True
                     stack.append(neighbor)

@@ -44,6 +44,7 @@ class MacTestbed:
         trace: bool = False,
         tracer: Optional[Tracer] = None,
         cache_window: int = 50_000_000,
+        neighbor_indexing: str = "auto",
         capture_threshold_db: Optional[float] = None,
         faults: Optional["FaultInjector"] = None,
     ):
@@ -62,7 +63,11 @@ class MacTestbed:
         #: JsonlTraceSink backend); otherwise one is built from ``trace``.
         self.tracer = tracer if tracer is not None else Tracer(enabled=trace)
         model = propagation or UnitDiskModel(phy.radio_range)
-        self.neighbors = NeighborService(provider, model, cache_window=cache_window)
+        #: ``neighbor_indexing``: "auto" (grid at >= GRID_THRESHOLD nodes),
+        #: "grid", or "brute" -- see repro.phy.neighbors.
+        self.neighbors = NeighborService(
+            provider, model, cache_window=cache_window, indexing=neighbor_indexing
+        )
         #: Optional fault injector shared by the data and tone channels.
         self.faults = faults
         self.data_channel = DataChannel(

@@ -112,6 +112,79 @@ def test_committed_baseline_matches_current_behavior():
     assert record["metrics"] == base_smoke[0]["metrics"]
 
 
+def test_tier_points_resolution():
+    assert bench.tier_points("smoke") is bench.SMOKE_POINTS
+    assert bench.tier_points("full") is bench.FULL_POINTS
+    assert bench.tier_points("large") is bench.LARGE_POINTS
+    with pytest.raises(ValueError):
+        bench.tier_points("galactic")
+
+
+def test_large_tier_composition():
+    sizes = {p["config"]["n_nodes"] for p in bench.LARGE_POINTS if "config" in p}
+    assert sizes == {200, 500, 1000}
+    rebuilds = [p for p in bench.LARGE_POINTS
+                if p.get("kind") == "neighbor-rebuild"]
+    assert {p["n_nodes"] for p in rebuilds} == {200, 500, 1000}
+    assert any(p.get("compare_brute") for p in bench.LARGE_POINTS)
+    # Labels are unique: they are the compare() key at shared mode/seed.
+    labels = [p["label"] for p in bench.LARGE_POINTS]
+    assert len(labels) == len(set(labels))
+
+
+def test_rebuild_point_asserts_equality_and_reports_speedup():
+    record = bench.run_point(bench._rebuild_point(200, epochs=2))
+    assert record["kind"] == "neighbor-rebuild"
+    assert record["links_built"] > 0
+    assert record["speedup"] > 0
+    assert record["links_per_sec_grid"] > 0
+    # Excluded from the event-loop aggregate.
+    assert record["events"] == 0 and record["wall_s"] == 0.0
+    report = bench.run_bench([bench._rebuild_point(200, epochs=1)], rev="x")
+    assert report["events"] == 0
+
+
+def test_compare_keys_on_label():
+    a = _fake_point()
+    b = dict(_fake_point(eps=2000.0), label="static-200")
+    ok, lines = bench.compare(_report(a, b), _report(a, b))
+    assert ok
+    assert any("[static-200]" in line for line in lines)
+    # A labeled point never matches an unlabeled baseline point.
+    ok, lines = bench.compare(_report(b), _report(a))
+    assert any("no baseline point" in line for line in lines)
+
+
+def test_markdown_table():
+    current = _report(_fake_point(eps=900.0))
+    baseline = _report(_fake_point(eps=1000.0))
+    table = bench.markdown_table(current, baseline)
+    assert table.startswith("| point |")
+    assert "0.90x" in table
+    assert "900" in table and "1,000" in table
+    # Without a baseline the ratio column degrades gracefully.
+    assert "--" in bench.markdown_table(current, None)
+
+
+def test_compare_brute_point_records_e2e_comparison():
+    point = dict(TINY, compare_brute=True)
+    record = bench.run_point(point)
+    assert record["brute_eps"] > 0
+    assert record["e2e_speedup_vs_brute"] > 0
+
+
+def test_cli_bench_tier_flag(tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setattr(bench, "LARGE_POINTS", [dict(TINY, mode="large")])
+    out = tmp_path / "bench-large.json"
+    code = main(["bench", "--tier", "large", "--out", str(out),
+                 "--baseline", str(tmp_path)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["points"][0]["mode"] == "large"
+
+
 def test_cli_bench_smoke(tmp_path, capsys, monkeypatch):
     from repro.cli import main
 

@@ -1,0 +1,91 @@
+"""The uniform spatial hash behind grid-indexed neighbor computation."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.phy.grid import SpatialGrid, expand_ranges
+
+
+def brute_pairs(pos, cutoff):
+    """Reference: all (i, j) pairs within ``cutoff`` (including i == j)."""
+    n = len(pos)
+    out = set()
+    for i in range(n):
+        for j in range(n):
+            if np.hypot(*(pos[i] - pos[j])) <= cutoff:
+                out.add((i, j))
+    return out
+
+
+def test_expand_ranges():
+    starts = np.array([0, 5, 9])
+    ends = np.array([2, 8, 10])
+    assert expand_ranges(starts, ends).tolist() == [0, 1, 5, 6, 7, 9]
+
+
+def test_pairs_cover_all_in_range_pairs():
+    rng = random.Random(11)
+    pos = np.array([(rng.uniform(0, 400), rng.uniform(0, 250))
+                    for _ in range(80)])
+    grid = SpatialGrid(pos, 75.0)
+    senders, cands = grid.pairs()
+    got = set(zip(senders.tolist(), cands.tolist()))
+    # No duplicates: each candidate lives in exactly one cell, and the 9
+    # probed keys of a sender are distinct.
+    assert len(senders) == len(got)
+    # Superset of the true in-range pairs (the caller re-checks distance).
+    assert got >= brute_pairs(pos, 75.0)
+
+
+def test_candidates_of_matches_pairs():
+    rng = random.Random(3)
+    pos = np.array([(rng.uniform(-100, 300), rng.uniform(-50, 200))
+                    for _ in range(40)])
+    grid = SpatialGrid(pos, 60.0)
+    senders, cands = grid.pairs()
+    for node in range(len(pos)):
+        expected = np.sort(cands[senders == node])
+        assert grid.candidates_of(node).tolist() == expected.tolist()
+
+
+def test_boundary_straddling_nodes_are_candidates():
+    # Nodes just either side of a cell boundary, closer than the cutoff.
+    pos = np.array([(74.999, 0.0), (75.001, 0.0), (149.0, 74.9)])
+    grid = SpatialGrid(pos, 75.0)
+    senders, cands = grid.pairs()
+    got = set(zip(senders.tolist(), cands.tolist()))
+    assert got >= brute_pairs(pos, 75.0)
+
+
+def test_negative_coordinates():
+    pos = np.array([(-10.0, -20.0), (-80.0, -20.0), (60.0, 40.0)])
+    grid = SpatialGrid(pos, 75.0)
+    senders, cands = grid.pairs()
+    got = set(zip(senders.tolist(), cands.tolist()))
+    assert got >= brute_pairs(pos, 75.0)
+
+
+def test_single_node_and_empty():
+    grid = SpatialGrid(np.array([[5.0, 5.0]]), 75.0)
+    senders, cands = grid.pairs()
+    assert senders.tolist() == [0] and cands.tolist() == [0]
+    assert grid.candidates_of(0).tolist() == [0]
+    empty = SpatialGrid(np.empty((0, 2)), 75.0)
+    senders, cands = empty.pairs()
+    assert len(senders) == 0 and len(cands) == 0
+
+
+def test_occupied_cell_count():
+    pos = np.array([(0.0, 0.0), (1.0, 1.0), (200.0, 0.0), (0.0, 200.0)])
+    assert SpatialGrid(pos, 75.0).n_cells == 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SpatialGrid(np.zeros((2, 3)), 75.0)
+    with pytest.raises(ValueError):
+        SpatialGrid(np.zeros((2, 2)), 0.0)
+    with pytest.raises(ValueError):
+        SpatialGrid(np.zeros((2, 2)), 75.0).candidates_of(5)

@@ -128,3 +128,155 @@ def test_mobile_cache_hit_within_bucket_returns_same_object():
     svc = NeighborService(_MovingProvider(), UnitDiskModel(75.0),
                           cache_window=1000)
     assert svc.links_from(0, 100) is svc.links_from(0, 900)
+
+
+class _CountingProvider:
+    """Static layout, mobile-flagged: counts positions() materializations."""
+
+    def __init__(self, coords):
+        self._coords = np.asarray(coords, dtype=float)
+        self.calls = 0
+
+    def positions(self, time_ns):
+        self.calls += 1
+        return self._coords
+
+    def is_static(self):
+        return False
+
+
+def test_two_slot_position_cache_survives_interleaved_times():
+    """Regression: interleaved queries for two buckets must not thrash.
+
+    The position cache used to hold a single snapshot, so an oracle or
+    trace lookback alternating between "now" and an earlier time evicted
+    the live snapshot on every call -- one provider materialization per
+    query. Two slots make the alternating pattern all hits.
+    """
+    provider = _CountingProvider([(0.0, 0.0), (50.0, 0.0)])
+    svc = NeighborService(provider, UnitDiskModel(75.0), cache_window=1000)
+    now, lookback = 5_000, 1_500  # distinct buckets
+    for _ in range(10):
+        svc.positions_at(now)
+        svc.positions_at(lookback)
+    assert provider.calls == 2
+    assert svc.counters.pos_cache_misses == 2
+    assert svc.counters.pos_cache_hits == 18
+    # A third bucket evicts the least-recently-used slot, not the MRU.
+    svc.positions_at(9_500)
+    assert provider.calls == 3
+    svc.positions_at(9_500)
+    svc.positions_at(lookback)
+    assert provider.calls == 3
+
+
+def test_counters_track_table_cache():
+    svc = NeighborService(_MovingProvider(), UnitDiskModel(75.0),
+                          cache_window=1000)
+    svc.links_from(0, 100)
+    svc.links_from(0, 900)
+    svc.links_from(0, 1100)
+    counters = svc.counters.as_dict()
+    assert counters["table_misses"] == 2
+    assert counters["table_hits"] == 1
+    assert counters["links_built"] == 2  # one link per computed table
+
+
+def test_indexing_mode_validation():
+    with pytest.raises(ValueError):
+        service([(0, 0)], indexing="octree")
+    svc = service([(0, 0)])
+    with pytest.raises(ValueError):
+        svc.force_indexing("octree")
+
+
+def test_grid_and_brute_static_tables_identical():
+    import random
+
+    rng = random.Random(5)
+    coords = [(rng.uniform(0, 500), rng.uniform(0, 300)) for _ in range(70)]
+    grid = service(coords, indexing="grid")
+    brute = service(coords, indexing="brute")
+    for sender in range(len(coords)):
+        assert grid.links_from(sender, 0) == brute.links_from(sender, 0)
+    assert grid.counters.table_rebuilds == 1
+    assert grid.counters.grid_cells > 0
+    assert grid.counters.grid_pairs > 0
+
+
+def test_force_indexing_switches_path_same_results():
+    import random
+
+    rng = random.Random(9)
+    coords = [(rng.uniform(0, 300), rng.uniform(0, 200)) for _ in range(30)]
+    svc = service(coords, indexing="auto")  # below threshold: brute
+    before = [svc.links_from(s, 0) for s in range(len(coords))]
+    assert svc.counters.table_rebuilds == 0
+    svc.force_indexing("grid")
+    after = [svc.links_from(s, 0) for s in range(len(coords))]
+    assert svc.counters.table_rebuilds == 1
+    assert before == after
+
+
+def test_auto_threshold_picks_grid_at_scale():
+    coords = [(float(i % 10) * 30.0, float(i // 10) * 30.0) for i in range(64)]
+    svc = service(coords)  # auto, n == GRID_THRESHOLD
+    svc.links_from(0, 0)
+    assert svc.counters.table_rebuilds == 1
+
+
+def test_table_from_shares_delay_map():
+    svc = service([(0, 0), (50, 0), (70, 0)])
+    table = svc.table_from(0, 0)
+    assert table.delay_map is svc.table_from(0, 0).delay_map
+    assert table.delay_map == {l.node: l.delay_ns for l in table.links}
+
+
+def test_link_is_tuple_compatible():
+    from repro.phy.neighbors import Link
+
+    positional = Link(3, 250, True, -40.0)
+    keyword = Link(node=3, delay_ns=250, in_rx_range=True, power_dbm=-40.0)
+    assert positional == keyword
+    assert Link(3, 250, True).power_dbm is None
+
+
+class _DriftProvider:
+    """n nodes on a line, rigidly drifting 1 m per 1 us position bucket."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def positions(self, time_ns):
+        xs = np.arange(self.n, dtype=np.float64) * 10.0 + float(time_ns // 1000)
+        return np.column_stack([xs, np.zeros(self.n)])
+
+    def is_static(self):
+        return False
+
+
+def test_grid_mobile_density_adaptive():
+    n = 80
+    svc = NeighborService(_DriftProvider(n), UnitDiskModel(75.0),
+                          cache_window=1000, indexing="grid")
+    # Sparse traffic: one sender per bucket never triggers a batched
+    # rebuild; tables are served lazily against the bucket's grid.
+    for bucket in range(3):
+        svc.links_from(0, bucket * 1000)
+    assert svc.counters.table_rebuilds == 0
+    assert svc.counters.table_misses == 3
+    # Dense traffic: sweeping every sender upgrades mid-bucket (at 25%
+    # distinct senders) to one batched rebuild...
+    for s in range(n):
+        svc.links_from(s, 3000)
+    assert svc.counters.table_rebuilds == 1
+    # ...and the next bucket, predicted dense, rebuilds eagerly up front.
+    for s in range(n):
+        svc.links_from(s, 4000)
+    assert svc.counters.table_rebuilds == 2
+    # Both flavors (lazy pruned scalar, batched) agree with brute.
+    brute = NeighborService(_DriftProvider(n), UnitDiskModel(75.0),
+                            cache_window=1000, indexing="brute")
+    for t in (0, 3000, 4000):
+        for s in range(n):
+            assert svc.links_from(s, t) == brute.links_from(s, t)

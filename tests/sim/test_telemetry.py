@@ -87,6 +87,29 @@ def test_render_mentions_throughput():
     assert "events/sec" in text and "rmac-pump" in text
 
 
+def test_sections_land_in_report_dict_and_render():
+    sim = Simulator()
+    telemetry = Telemetry().attach(sim)
+    _load(sim, n=5)
+    sim.run()
+    telemetry.set_section("neighbors", {"table_rebuilds": 3, "table_hits": 99})
+    report = telemetry.report(sim)
+    payload = json.loads(report.to_json())
+    assert payload["neighbors"] == {"table_rebuilds": 3, "table_hits": 99}
+    assert "table_rebuilds=3" in report.render()
+
+
+def test_sections_default_empty_and_replaceable():
+    sim = Simulator()
+    telemetry = Telemetry().attach(sim)
+    _load(sim, n=2)
+    sim.run()
+    assert telemetry.report(sim).sections == {}
+    telemetry.set_section("cache", {"hits": 1})
+    telemetry.set_section("cache", {"hits": 2})
+    assert telemetry.report(sim).sections == {"cache": {"hits": 2}}
+
+
 def test_sim_time_tracked_from_attach_point():
     sim = Simulator()
     sim.after(1000, lambda: None)

@@ -51,3 +51,36 @@ def test_deterministic_given_rng():
     a = random_placement(20, 300, 200, random.Random(9))
     b = random_placement(20, 300, 200, random.Random(9))
     assert a == b
+
+
+def test_components_match_dense_reference():
+    """The grid-pruned adjacency must reproduce the O(n^2) definition."""
+    import numpy as np
+
+    rng = random.Random(21)
+    for trial in range(5):
+        coords = [(rng.uniform(0, 400), rng.uniform(0, 250))
+                  for _ in range(60)]
+        arr = np.asarray(coords)
+        deltas = arr[:, None, :] - arr[None, :, :]
+        dists = np.hypot(deltas[..., 0], deltas[..., 1])
+        adjacency = [
+            [j for j in range(len(arr)) if j != i and dists[i, j] <= 75.0]
+            for i in range(len(arr))
+        ]
+        seen = [False] * len(arr)
+        expected = []
+        for start in range(len(arr)):
+            if seen[start]:
+                continue
+            stack, component = [start], []
+            seen[start] = True
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in adjacency[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            expected.append(sorted(component))
+        assert connected_components(coords, 75.0) == expected
