@@ -7,7 +7,9 @@ Commands
 ``figure``   regenerate a paper figure (fig7..fig13) at a chosen scale,
              or from a campaign store with ``--from DIR`` (no simulation).
 ``campaign`` checkpointed sweeps: ``run`` (kill-and-resume safe, every
-             finished point durably on disk) and ``status`` (progress).
+             finished point durably on disk), ``status`` (progress),
+             ``farm`` (sharded multi-process executor with work-stealing
+             and crash recovery) and ``serve`` (live status endpoint).
 ``validate`` check every quantitative paper claim against a sweep
              (or a store, with ``--from DIR``).
 ``topology`` Fig. 6 tree statistics over random placements.
@@ -175,8 +177,11 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: report and keep partial results)")
 
 
-#: (n_nodes, n_packets, rates, seeds) per --scale choice.
+#: (n_nodes, n_packets, rates, seeds) per --scale choice. "smoke" is
+#: the committed 40-node spec CI drives end to end (the farm smoke job
+#: runs it twice — farmed and single-process — and asserts bit-identity).
 FIGURE_SCALES = {
+    "smoke": (40, 40, (20,), (1, 2)),
     "small": (25, 60, (10, 60, 120), (1, 2)),
     "medium": (40, 150, (5, 20, 60, 120), (1, 2, 3)),
     "paper": (75, 10_000, PAPER_RATES, tuple(range(1, 11))),
@@ -323,6 +328,70 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return _report_failures(results, args.fail_on_error)
 
 
+def _cmd_campaign_farm(args: argparse.Namespace) -> int:
+    from repro.experiments.farm import CampaignFarm, render_farm_status, farm_status
+
+    _n, _p, rates, seeds = FIGURE_SCALES[args.scale]
+    farm = CampaignFarm(args.out)
+
+    def default_progress(done, total, key, error):
+        status = f"FAILED ({error})" if error else "ok"
+        print(f"[{done}/{total}] {key} {status}", flush=True)
+
+    faults = _load_faults(args.faults)
+    manifest_extra = {"scale": args.scale}
+    if faults is not None:
+        manifest_extra["faults"] = faults.to_dict()
+    if args.oracle:
+        manifest_extra["oracle"] = True
+    telemetry = None
+    if args.telemetry:
+        from repro.sim.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    results = farm.run(
+        args.protocols.split(","), list(SCENARIOS), list(rates), list(seeds),
+        _scale_make_config(args.scale, faults=faults, oracle=args.oracle),
+        workers=args.workers, retries=args.retries,
+        progress=default_progress if args.progress else None,
+        manifest_extra=manifest_extra, telemetry=telemetry,
+    )
+    counters = farm.counters.as_dict()
+    print("farm: " + ", ".join(f"{k.replace('points_', '')}={v}"
+                               for k, v in counters.items()))
+    if args.telemetry:
+        import json
+
+        with open(args.telemetry, "w") as fh:
+            json.dump(telemetry.report().to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"farm telemetry -> {args.telemetry}")
+    print(render_farm_status(farm_status(farm.path)), end="")
+    print(f"farm store: {farm.path} ({len(farm)} merged points)")
+    return _report_failures(results, args.fail_on_error)
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.farm import farm_status, make_status_server
+
+    if args.once:
+        import json
+
+        print(json.dumps(farm_status(args.out), indent=1, sort_keys=True))
+        return 0
+    server = make_status_server(args.out, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {args.out} on http://{host}:{port}/ "
+          f"(JSON at /status; Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import Campaign
     from repro.experiments.report import render_status
@@ -456,6 +525,60 @@ def build_parser() -> argparse.ArgumentParser:
                                    "are persisted in the store")
     _add_sweep_flags(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_farm = campaign_sub.add_parser(
+        "farm",
+        help="run the matrix as a sharded multi-process farm: one "
+             "result store per shard, work-stealing, dead workers' "
+             "leases requeued, shards merged into the canonical store",
+    )
+    campaign_farm.add_argument("--out", required=True, metavar="DIR",
+                               help="farm root directory (the merged "
+                                    "canonical store; shards live in "
+                                    "DIR/shards/, heartbeats in "
+                                    "DIR/workers/)")
+    campaign_farm.add_argument("--workers", type=int, default=None,
+                               metavar="N",
+                               help="worker processes / shards "
+                                    "(default: all cores)")
+    campaign_farm.add_argument("--scale", choices=sorted(FIGURE_SCALES),
+                               default="small")
+    campaign_farm.add_argument("--protocols", default="rmac,bmmm",
+                               help="comma-separated protocol names")
+    campaign_farm.add_argument("--retries", type=int, default=0,
+                               help="re-run a crashed point up to N "
+                                    "extra times")
+    campaign_farm.add_argument("--progress", action="store_true",
+                               help="print one line per finished "
+                                    "(point, seed) run")
+    campaign_farm.add_argument("--fail-on-error", action="store_true",
+                               help="exit nonzero if any point failed")
+    campaign_farm.add_argument("--faults", metavar="PLAN.json",
+                               help="inject the same fault plan into "
+                                    "every point")
+    campaign_farm.add_argument("--oracle", action="store_true",
+                               help="attach the invariant oracle to "
+                                    "every point")
+    campaign_farm.add_argument("--telemetry", metavar="OUT.json",
+                               help="write the farm counters (done/"
+                                    "stolen/requeued, worker deaths) "
+                                    "as a telemetry report")
+    campaign_farm.set_defaults(func=_cmd_campaign_farm)
+
+    campaign_serve = campaign_sub.add_parser(
+        "serve",
+        help="long-lived HTTP endpoint publishing a farm/campaign "
+             "store's live progress, ETA and worker liveness",
+    )
+    campaign_serve.add_argument("--out", required=True, metavar="DIR",
+                                help="farm root (or campaign store) "
+                                     "directory")
+    campaign_serve.add_argument("--host", default="127.0.0.1")
+    campaign_serve.add_argument("--port", type=int, default=8765)
+    campaign_serve.add_argument("--once", action="store_true",
+                                help="print one JSON status snapshot to "
+                                     "stdout and exit (no server)")
+    campaign_serve.set_defaults(func=_cmd_campaign_serve)
 
     campaign_status = campaign_sub.add_parser(
         "status",

@@ -16,6 +16,11 @@ API reference for its layer):
 * :mod:`~repro.experiments.campaign` — workflow: ``Campaign`` ties the
   matrix, the store and the runner into a resumable, status-reporting
   long sweep.
+* :mod:`~repro.experiments.farm` — distributed execution:
+  ``CampaignFarm`` shards the matrix across worker processes (one
+  store per shard, work-stealing, crash detection + lease requeue) and
+  merges the shards back into the canonical store; ``farm_status`` and
+  ``make_status_server`` power ``repro campaign serve``.
 * :mod:`~repro.experiments.figures` — figure definitions: what each
   paper figure plots, and rows from results or straight from a store.
 * :mod:`~repro.experiments.report` — presentation: text tables, CSV,
@@ -30,8 +35,14 @@ from repro.experiments.scenarios import (
     paper_scenario,
     scaled_scenario,
 )
-from repro.experiments.store import ResultStore, config_hash, point_key
+from repro.experiments.store import (
+    ResultStore,
+    config_hash,
+    merge_stores,
+    point_key,
+)
 from repro.experiments.campaign import Campaign
+from repro.experiments.farm import CampaignFarm, FarmCounters, farm_status
 from repro.experiments.runner import (
     PointFailure,
     SweepResult,
@@ -50,10 +61,14 @@ from repro.experiments.report import format_table, render_status, rows_to_csv
 
 __all__ = [
     "Campaign",
+    "CampaignFarm",
+    "FarmCounters",
     "PAPER_RATES",
     "ResultStore",
     "SCENARIOS",
     "config_hash",
+    "farm_status",
+    "merge_stores",
     "paper_scenario",
     "point_key",
     "scaled_scenario",

@@ -127,7 +127,7 @@ def aggregate(
 
 
 @dataclass(frozen=True)
-class _Job:
+class Job:
     """One unit of sweep work: a single (point, seed) run."""
 
     protocol: str
@@ -139,6 +139,58 @@ class _Job:
     @property
     def key(self) -> str:
         return f"{self.protocol}|{self.scenario}|{self.rate_pps}|{self.seed}"
+
+
+#: Backwards-compatible alias (Job was private before the farm needed it).
+_Job = Job
+
+
+def build_jobs(
+    protocols: Sequence[str],
+    scenarios: Sequence[str],
+    rates: Sequence[float],
+    seeds: Sequence[int],
+    make_config,
+) -> List[Job]:
+    """The full matrix as jobs, in canonical matrix order.
+
+    The order is load-bearing: :func:`collect_results` slices the job
+    list back into (protocol, scenario, rate) points ``len(seeds)`` at a
+    time, and the store/farm layers key caches by :attr:`Job.key`.
+    """
+    jobs: List[Job] = []
+    for protocol in protocols:
+        for scenario in scenarios:
+            for rate in rates:
+                for seed in seeds:
+                    jobs.append(
+                        Job(protocol, scenario, rate, seed,
+                            make_config(protocol, scenario, rate, seed))
+                    )
+    return jobs
+
+
+def collect_results(
+    jobs: Sequence[Job],
+    seeds: Sequence[int],
+    outcomes: Dict[str, object],
+) -> List[SweepResult]:
+    """Fold per-job outcomes (``RunSummary`` or ``PointFailure`` keyed by
+    :attr:`Job.key`) into seed-averaged points, in matrix order."""
+    results: List[SweepResult] = []
+    for index in range(0, len(jobs), max(len(seeds), 1)):
+        chunk_jobs = jobs[index : index + len(seeds)]
+        if not chunk_jobs:
+            break
+        chunk = [outcomes[j.key] for j in chunk_jobs]
+        summaries = [o for o in chunk if isinstance(o, RunSummary)]
+        failures = [o for o in chunk if isinstance(o, PointFailure)]
+        first = chunk_jobs[0]
+        results.append(
+            aggregate(first.protocol, first.scenario, first.rate_pps,
+                      summaries, failures)
+        )
+    return results
 
 
 #: Progress callback: (done, total, job_key, error_or_None).
@@ -267,15 +319,7 @@ def run_sweep(
         captured failure) is appended as it completes, so an
         interrupted sweep loses only its in-flight jobs.
     """
-    jobs: List[_Job] = []
-    for protocol in protocols:
-        for scenario in scenarios:
-            for rate in rates:
-                for seed in seeds:
-                    jobs.append(
-                        _Job(protocol, scenario, rate, seed,
-                             make_config(protocol, scenario, rate, seed))
-                    )
+    jobs = build_jobs(protocols, scenarios, rates, seeds, make_config)
 
     cached: Dict[str, RunSummary] = {}
     on_result: Optional[ResultFn] = None
@@ -313,20 +357,7 @@ def run_sweep(
     else:
         outcomes = _run_serial(to_run, retries, strict, run_progress, on_result)
     outcomes.update(cached)
-
-    results: List[SweepResult] = []
-    index = 0
-    for protocol in protocols:
-        for scenario in scenarios:
-            for rate in rates:
-                chunk = [outcomes[j.key] for j in jobs[index : index + len(seeds)]]
-                index += len(seeds)
-                summaries = [o for o in chunk if isinstance(o, RunSummary)]
-                failures = [o for o in chunk if isinstance(o, PointFailure)]
-                results.append(
-                    aggregate(protocol, scenario, rate, summaries, failures)
-                )
-    return results
+    return collect_results(jobs, seeds, outcomes)
 
 
 def sweep_failures(results: Sequence[SweepResult]) -> List[PointFailure]:

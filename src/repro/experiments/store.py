@@ -55,7 +55,7 @@ import hashlib
 import json
 import os
 from dataclasses import asdict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.metrics.summary import RunSummary
 
@@ -298,3 +298,41 @@ class ResultStore:
         total = len(expected)
         return {"total": total, "done": done, "failed": failed,
                 "stale": stale, "missing": total - done - failed - stale}
+
+
+def merge_stores(target: ResultStore,
+                 sources: Sequence[ResultStore]) -> Dict[str, int]:
+    """Fold ``sources`` (e.g. a farm's shard stores) into ``target``.
+
+    Per point, the winning record is decided deterministically:
+
+    * an ``ok`` record always beats a ``failed`` one (a success recorded
+      by any shard supersedes a failure recorded by another);
+    * between records of equal status, the *later* source wins
+      (last-record-wins, with ``target``'s existing record counting as
+      the earliest) — within one source the store's own replay already
+      keeps only its last record per point;
+    * a record identical to the one already in ``target`` is not
+      re-appended, so merging is idempotent.
+
+    ``target`` stays append-only: winners are appended (durably, one
+    fsync each), never rewritten in place. A truncated final line in any
+    source was already dropped by that store's load. Returns counts:
+    ``{"added": .., "superseded": .., "unchanged": ..}``.
+    """
+    counts = {"added": 0, "superseded": 0, "unchanged": 0}
+    for source in sources:
+        for key, record in sorted(source.records()):
+            current = target._records.get(key)
+            if current is None:
+                target._append(key, record)
+                counts["added"] += 1
+            elif record == current:
+                counts["unchanged"] += 1
+            elif current["status"] == "ok" and record["status"] != "ok":
+                # Never let a stray failure clobber a completed point.
+                counts["unchanged"] += 1
+            else:
+                target._append(key, record)
+                counts["superseded"] += 1
+    return counts

@@ -1,0 +1,330 @@
+"""The campaign farm: shard merge semantics, crash recovery, status.
+
+The acceptance bar (ISSUE 8 / ROADMAP "heavy traffic"): a farmed — even
+killed-and-resumed — campaign must produce a merged store bit-identical
+per point (``config_hash`` + ``RunSummary`` dict) to a single-process
+``campaign run`` of the same spec.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.farm import (
+    SHARDS_DIR,
+    WORKERS_DIR,
+    CampaignFarm,
+    farm_status,
+    make_status_server,
+    render_farm_status,
+    shard_index,
+    shard_name,
+)
+from repro.experiments.runner import run_point
+from repro.experiments.scenarios import scaled_scenario
+from repro.experiments.store import ResultStore, config_hash, merge_stores
+from repro.sim.telemetry import Telemetry
+
+
+def tiny_config(protocol, scenario, rate, seed):
+    return scaled_scenario(protocol, scenario, rate, seed,
+                           n_packets=4, n_nodes=10)
+
+
+MATRIX = (["rmac"], ["stationary", "speed1"], [10], [1, 2])
+
+
+def _records_by_key(store):
+    return dict(store.records())
+
+
+def assert_stores_bit_identical(farmed, reference):
+    """Per point: same keys, same config_hash, same summary dict."""
+    farmed_records = _records_by_key(farmed)
+    reference_records = _records_by_key(reference)
+    assert sorted(farmed_records) == sorted(reference_records)
+    for key, expected in reference_records.items():
+        record = farmed_records[key]
+        assert record["config_hash"] == expected["config_hash"], key
+        assert record["status"] == expected["status"] == "ok", key
+        assert record["summary"] == expected["summary"], key
+
+
+# ---------------------------------------------------------------------------
+# merge_stores
+# ---------------------------------------------------------------------------
+
+def _seeded_store(path, seeds, scenario="stationary"):
+    store = ResultStore(str(path))
+    for seed in seeds:
+        config = tiny_config("rmac", scenario, 10, seed)
+        store.record_success("rmac", scenario, 10, seed,
+                             config_hash(config), run_point(config))
+    return store
+
+
+def test_merge_disjoint_shards_and_idempotence(tmp_path):
+    a = _seeded_store(tmp_path / "a", [1])
+    b = _seeded_store(tmp_path / "b", [2])
+    target = ResultStore(str(tmp_path / "merged"))
+    counts = merge_stores(target, [a, b])
+    assert counts == {"added": 2, "superseded": 0, "unchanged": 0}
+    assert len(target) == 2
+
+    # Merging again (or merging shards that replayed each other's
+    # points) appends nothing: byte-identical records are deduplicated.
+    counts = merge_stores(target, [a, b])
+    assert counts == {"added": 0, "superseded": 0, "unchanged": 2}
+    lines = open(target.path).read().splitlines()
+    assert len(lines) == 2
+
+
+def test_merge_overlap_last_record_wins(tmp_path):
+    config = tiny_config("rmac", "stationary", 10, 1)
+    summary = run_point(config)
+    early = ResultStore(str(tmp_path / "early"))
+    early.record_failure("rmac", "stationary", 10, 1, config_hash(config),
+                         error="OSError: transient", attempts=1)
+    late = ResultStore(str(tmp_path / "late"))
+    late.record_success("rmac", "stationary", 10, 1,
+                        config_hash(config), summary)
+
+    # failed-then-ok: the later source's success supersedes.
+    target = ResultStore(str(tmp_path / "m1"))
+    counts = merge_stores(target, [early, late])
+    assert counts["added"] == 1 and counts["superseded"] == 1
+    assert target._records[("rmac", "stationary", 10.0, 1)]["status"] == "ok"
+
+    # ok-then-failed: a stray failure never clobbers a success.
+    target = ResultStore(str(tmp_path / "m2"))
+    counts = merge_stores(target, [late, early])
+    assert counts["added"] == 1 and counts["superseded"] == 0
+    assert target._records[("rmac", "stationary", 10.0, 1)]["status"] == "ok"
+
+    # failed-then-failed: last record wins between equals.
+    worse = ResultStore(str(tmp_path / "worse"))
+    worse.record_failure("rmac", "stationary", 10, 1, config_hash(config),
+                         error="OSError: again", attempts=2)
+    target = ResultStore(str(tmp_path / "m3"))
+    merge_stores(target, [early, worse])
+    record = target._records[("rmac", "stationary", 10.0, 1)]
+    assert record["error"] == "OSError: again" and record["attempts"] == 2
+
+
+def test_merge_tolerates_truncated_shard_tail(tmp_path):
+    shard = _seeded_store(tmp_path / "shard", [1, 2])
+    # A worker killed mid-append leaves a torn final line.
+    with open(shard.path, "a") as fh:
+        fh.write('{"v": 1, "protocol": "rmac", "scenario": "stat')
+    reloaded = ResultStore(str(tmp_path / "shard"))
+    assert len(reloaded) == 2 and reloaded.corrupt_lines == 0
+
+    target = ResultStore(str(tmp_path / "merged"))
+    counts = merge_stores(target, [reloaded])
+    assert counts == {"added": 2, "superseded": 0, "unchanged": 0}
+
+
+# ---------------------------------------------------------------------------
+# CampaignFarm
+# ---------------------------------------------------------------------------
+
+def test_farm_bit_identical_to_unsharded_campaign(tmp_path):
+    reference_results = Campaign(str(tmp_path / "reference")).run(
+        *MATRIX, tiny_config)
+
+    farm = CampaignFarm(str(tmp_path / "farm"))
+    telemetry = Telemetry()
+    results = farm.run(*MATRIX, tiny_config, workers=2, telemetry=telemetry)
+
+    # Same aggregates (the JSON round trip must not perturb a float),
+    # same per-point records in the merged canonical store.
+    assert results == reference_results
+    assert_stores_bit_identical(ResultStore(str(tmp_path / "farm")),
+                                ResultStore(str(tmp_path / "reference")))
+
+    counters = farm.counters
+    assert counters.points_total == 4 and counters.points_done == 4
+    assert counters.points_failed == 0 and counters.workers_died == 0
+    assert counters.workers_spawned == 2
+
+    # Shard layout on disk: every shard is itself a loadable store, and
+    # each point's record is where its home (or thief) worker put it.
+    shards = os.listdir(os.path.join(str(tmp_path / "farm"), SHARDS_DIR))
+    assert all(name.startswith("shard-") for name in shards)
+
+    # Counters threaded through the telemetry pipeline.
+    assert telemetry.report().to_dict()["farm"]["points_done"] == 4
+
+
+def test_farm_resume_serves_everything_cached(tmp_path):
+    path = str(tmp_path / "farm")
+    CampaignFarm(path).run(*MATRIX, tiny_config, workers=2)
+    farm = CampaignFarm(path)
+    progress = []
+    farm.run(*MATRIX, tiny_config, workers=2,
+             progress=lambda done, total, key, err:
+             progress.append((done, total, key)))
+    assert farm.counters.points_cached == 4
+    assert farm.counters.points_done == 0
+    assert farm.counters.workers_spawned == 0   # nothing left to execute
+    assert all(key.endswith("(cached)") for _, _, key in progress)
+
+
+def test_farm_replays_partial_shard_of_dead_worker(tmp_path):
+    """A shard store left by a crashed run resumes as cached points."""
+    root = str(tmp_path / "farm")
+    # Pre-seed shard-00 with one completed point, as if a worker died
+    # after finishing it (durable append, no ack, no merge).
+    config = tiny_config("rmac", "stationary", 10, 1)
+    shard = ResultStore(os.path.join(root, SHARDS_DIR, shard_name(0)))
+    shard.record_success("rmac", "stationary", 10, 1,
+                         config_hash(config), run_point(config))
+
+    farm = CampaignFarm(root)
+    farm.run(*MATRIX, tiny_config, workers=2)
+    assert farm.counters.points_cached == 1
+    assert farm.counters.points_done == 3
+    # The replayed point made it into the canonical merged store.
+    assert ("rmac", "stationary", 10.0, 1) in ResultStore(root)
+
+
+def test_farm_captures_point_failures(tmp_path):
+    def half_broken(protocol, scenario, rate, seed):
+        config = tiny_config(protocol, scenario, rate, seed)
+        if seed == 2:
+            # Unknown protocol: build_network raises inside the worker.
+            config = config.variant(protocol="no-such-mac")
+        return config
+
+    farm = CampaignFarm(str(tmp_path / "farm"))
+    results = farm.run(["rmac"], ["stationary"], [10], [1, 2], half_broken,
+                       workers=2, retries=1)
+    assert farm.counters.points_done == 1 and farm.counters.points_failed == 1
+    assert len(results) == 1 and results[0].n_seeds == 1
+    (failure,) = results[0].failures
+    assert failure.seed == 2 and "no-such-mac" in failure.error
+    assert failure.attempts == 2    # --retries honoured inside the worker
+    # The failure is persisted (and re-runs on resume, like a campaign's).
+    store = ResultStore(str(tmp_path / "farm"))
+    assert len(store.failures()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Worker death: SIGKILL mid-campaign
+# ---------------------------------------------------------------------------
+
+def slow_config(protocol, scenario, rate, seed):
+    return scaled_scenario(protocol, scenario, rate, seed,
+                           n_packets=120, n_nodes=10)
+
+
+KILL_MATRIX = (["rmac"], ["stationary"], [60], [1, 2, 3, 4, 5, 6])
+
+
+def _assassinate_first_leased_worker(root, killed):
+    """Poll heartbeats until some worker leases a job, then SIGKILL it."""
+    workers_dir = os.path.join(root, WORKERS_DIR)
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        if os.path.isdir(workers_dir):
+            for name in sorted(os.listdir(workers_dir)):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(workers_dir, name)) as fh:
+                        beat = json.load(fh)
+                except (OSError, ValueError):
+                    continue
+                if beat.get("status") == "leased":
+                    try:
+                        os.kill(beat["pid"], signal.SIGKILL)
+                    except OSError:
+                        return
+                    killed.append(beat)
+                    return
+        time.sleep(0.01)
+
+
+def test_sigkilled_worker_requeues_lease_and_farm_completes(tmp_path):
+    reference = Campaign(str(tmp_path / "reference")).run(
+        *KILL_MATRIX, slow_config)
+
+    root = str(tmp_path / "farm")
+    farm = CampaignFarm(root)
+    killed = []
+    assassin = threading.Thread(
+        target=_assassinate_first_leased_worker, args=(root, killed))
+    assassin.start()
+    try:
+        results = farm.run(*KILL_MATRIX, slow_config, workers=2)
+    finally:
+        assassin.join()
+
+    assert killed, "assassin never saw a leased worker"
+    counters = farm.counters
+    assert counters.workers_died == 1
+    # The killed worker's lease went back to the queue and ran elsewhere
+    # (unless the kill landed in the sliver between its fsync and its
+    # ack, in which case the completed point needed no requeue).
+    assert counters.points_requeued <= 1
+    assert counters.points_done == len(reference[0].per_seed) == 6
+
+    # Zero missing points, and the merged store is still bit-identical
+    # to the single-process run.
+    status = farm_status(root)
+    assert status["missing"] == 0 and status["done"] == 6
+    assert results == reference
+    assert_stores_bit_identical(ResultStore(root),
+                                ResultStore(str(tmp_path / "reference")))
+
+
+# ---------------------------------------------------------------------------
+# Status + serve endpoint
+# ---------------------------------------------------------------------------
+
+def test_farm_status_fields_and_rendering(tmp_path):
+    root = str(tmp_path / "farm")
+    CampaignFarm(root).run(*MATRIX, tiny_config, workers=2)
+    status = farm_status(root)
+    assert status["state"] == "done"
+    assert status["total"] == 4 and status["done"] == 4
+    assert status["failed"] == 0 and status["missing"] == 0
+    assert status["counters"]["workers_spawned"] == 2
+    assert len(status["shards"]) >= 1
+    assert all(not w["alive"] for w in status["workers"])  # all stopped
+
+    text = render_farm_status(status)
+    assert "4/4 points done" in text and "farm [done]" in text
+
+
+def test_shard_assignment_is_deterministic():
+    h = config_hash(tiny_config("rmac", "stationary", 10, 1))
+    assert shard_index(h, 4) == int(h, 16) % 4
+    assert shard_index(h, 1) == 0
+
+
+def test_serve_endpoint(tmp_path):
+    root = str(tmp_path / "farm")
+    CampaignFarm(root).run(*MATRIX, tiny_config, workers=2)
+    server = make_status_server(root, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = "http://127.0.0.1:%d" % server.server_address[1]
+        with urllib.request.urlopen(base + "/status") as response:
+            status = json.load(response)
+        assert status["done"] == 4 and status["state"] == "done"
+        with urllib.request.urlopen(base + "/") as response:
+            assert b"points done" in response.read()
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(base + "/nope")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join()

@@ -99,3 +99,62 @@ def test_flag_values_are_not_mistaken_for_subcommands(parser):
     problems, total = _check(
         "```bash\npython -m repro figure fig7 --csv run\n```", parser)
     assert problems == [] and total == 1
+
+
+# ---------------------------------------------------------------------------
+# Python-reference resolution (the importlib half of the checker)
+# ---------------------------------------------------------------------------
+
+def _check_refs(markdown):
+    return check_docs.check_python_refs(markdown, "doc.md")
+
+
+def test_valid_python_refs_resolve():
+    text = """
+A module: `repro.experiments.farm`. An attribute walked from it:
+`repro.experiments.store.merge_stores`, and a nested one:
+`repro.analysis.validation`.
+
+```python
+from repro.experiments import CampaignFarm
+status = repro.experiments.farm.farm_status("store")
+```
+"""
+    problems, total = _check_refs(text)
+    assert problems == []
+    assert total == 5   # the import line's `repro.experiments` counts too
+
+
+def test_renamed_attribute_is_flagged():
+    problems, total = _check_refs(
+        "See `repro.experiments.store.merge_store` for details.\n")
+    assert total == 1 and len(problems) == 1
+    assert "merge_store" in problems[0] and "doc.md:1" in problems[0]
+
+
+def test_missing_module_is_flagged():
+    problems, _ = _check_refs("`repro.no_such_module.thing`\n")
+    assert problems and "repro.no_such_module.thing" in problems[0]
+
+
+def test_call_parens_and_trailing_dot_are_stripped():
+    text = ("```python\n"
+            "repro.experiments.store.merge_stores(target, sources)\n"
+            "```\n"
+            "The package is `repro.experiments.` here.\n")
+    problems, total = _check_refs(text)
+    assert problems == [] and total == 2
+
+
+def test_prose_outside_backticks_is_not_scanned():
+    # A changelog may legitimately discuss names that no longer exist.
+    problems, total = _check_refs(
+        "We removed repro.experiments.old_runner in PR 4.\n")
+    assert problems == [] and total == 0
+
+
+def test_repo_docs_have_no_stale_python_refs():
+    for path in check_docs.default_files(str(ROOT)):
+        with open(path) as fh:
+            problems, _ = check_docs.check_python_refs(fh.read(), str(path))
+        assert problems == []

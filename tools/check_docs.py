@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Docs-vs-CLI drift check.
+"""Docs-vs-code drift check: CLI commands and Python references.
 
-Extracts every ``repro`` / ``python -m repro`` invocation from fenced
-code blocks in the repository's markdown docs and asserts that the
-referenced subcommands, nested subcommands, flags and positional
-choices all exist in the live argparse tree (``repro.cli.build_parser``).
-No simulation runs — the check is pure parser introspection, cheap
-enough for CI on every push.
+Two independent extractors keep the markdown docs honest:
 
-Exit status: 0 when every documented command line parses, 1 when any
-references a subcommand or flag the CLI does not have (or when no
-commands were found at all, which would mean the extractor broke).
+* **CLI commands** — every ``repro`` / ``python -m repro`` invocation
+  inside a fenced code block must name subcommands, nested subcommands,
+  flags and positional choices that exist in the live argparse tree
+  (``repro.cli.build_parser``). Pure parser introspection, no
+  simulation.
+* **Python references** — every dotted ``repro.<module>.<name>`` name
+  appearing in inline code spans or fenced code blocks must resolve:
+  the longest importable module prefix is imported via ``importlib``
+  and the remaining parts are resolved with ``getattr``. An API rename
+  therefore breaks the docs check, not just the reader.
+
+Exit status: 0 when everything resolves, 1 when any command or
+reference is stale (or when nothing was found at all, which would mean
+an extractor broke).
 
 Usage::
 
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import glob
+import importlib
 import os
 import re
 import shlex
@@ -79,6 +86,84 @@ def extract_commands(text: str) -> List[Tuple[int, List[str]]]:
         if argv:
             commands.append((start, argv))
     return commands
+
+
+#: A dotted Python reference rooted at the repro package. The match
+#: stops before call parentheses ("repro.register_protocol(name, ...)")
+#: and never crosses a space, so prose around the name is ignored.
+_PY_REF = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: Code contexts worth scanning for references: inline spans and fenced
+#: blocks. (Prose outside backticks may legitimately discuss names that
+#: no longer exist — e.g. a changelog — so it is left alone.)
+_INLINE_CODE = re.compile(r"`([^`\n]+)`")
+
+
+def extract_python_refs(text: str) -> List[Tuple[int, str]]:
+    """(line number, dotted name) for every ``repro.*`` reference in an
+    inline code span or fenced code block, deduplicated per line."""
+    refs: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            spans = [raw]
+        else:
+            spans = _INLINE_CODE.findall(raw)
+        seen = set()
+        for span in spans:
+            for match in _PY_REF.finditer(span):
+                name = match.group(0).rstrip(".")
+                if name != "repro" and name not in seen:
+                    seen.add(name)
+                    refs.append((lineno, name))
+    return refs
+
+
+def resolve_python_ref(name: str) -> Optional[str]:
+    """None if the dotted name resolves (module, or attribute walked
+    from its longest importable module prefix); an error string if not."""
+    parts = name.split(".")
+    module = None
+    module_error = None
+    for i in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:i]))
+            break
+        except ImportError as exc:
+            if module_error is None:
+                module_error = str(exc)
+        except Exception as exc:  # import-time crash in the module
+            return f"importing {'.'.join(parts[:i])!r} raised {exc!r}"
+    if module is None:
+        return f"no importable module prefix ({module_error})"
+    obj = module
+    for part in parts[i:]:
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            return (f"{obj.__name__ if hasattr(obj, '__name__') else obj!r} "
+                    f"has no attribute {part!r}")
+    return None
+
+
+def check_python_refs(text: str, filename: str) -> Tuple[List[str], int]:
+    """(problems, reference count) for one document's Python refs."""
+    problems: List[str] = []
+    refs = extract_python_refs(text)
+    cache: Dict[str, Optional[str]] = {}
+    for lineno, name in refs:
+        if name not in cache:
+            cache[name] = resolve_python_ref(name)
+        error = cache[name]
+        if error is not None:
+            problems.append(
+                f"{filename}:{lineno}: unresolvable Python reference "
+                f"{name!r} ({error})")
+    return problems, len(refs)
 
 
 def _subparser_action(parser: argparse.ArgumentParser):
@@ -150,6 +235,7 @@ def check_text(text: str, parser: argparse.ArgumentParser,
 def check_files(files: List[str],
                 parser: Optional[argparse.ArgumentParser] = None,
                 ) -> Tuple[List[str], int]:
+    """(problems, checks) across files: CLI commands + Python refs."""
     if parser is None:
         from repro.cli import build_parser
         parser = build_parser()
@@ -158,8 +244,11 @@ def check_files(files: List[str],
     for path in files:
         with open(path) as fh:
             text = fh.read()
-        problems, count = check_text(text, parser,
-                                     os.path.relpath(path, _REPO_ROOT))
+        relpath = os.path.relpath(path, _REPO_ROOT)
+        problems, count = check_text(text, parser, relpath)
+        all_problems.extend(problems)
+        total += count
+        problems, count = check_python_refs(text, relpath)
         all_problems.extend(problems)
         total += count
     return all_problems, total
@@ -170,17 +259,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     files = args or default_files()
     problems, total = check_files(files)
     if total == 0:
-        print("docs check: no repro commands found in any doc -- the "
-              "extractor or the docs are broken", file=sys.stderr)
+        print("docs check: no repro commands or Python references found "
+              "in any doc -- the extractors or the docs are broken",
+              file=sys.stderr)
         return 1
     for problem in problems:
         print(f"docs check: {problem}", file=sys.stderr)
     if problems:
-        print(f"docs check: {len(problems)} stale command reference(s) "
+        print(f"docs check: {len(problems)} stale reference(s) "
               f"across {len(files)} file(s)", file=sys.stderr)
         return 1
-    print(f"docs check: {total} repro command(s) across {len(files)} "
-          f"file(s) all match the CLI")
+    print(f"docs check: {total} repro command(s) and Python reference(s) "
+          f"across {len(files)} file(s) all match the code")
     return 0
 
 
