@@ -27,7 +27,14 @@ from typing import Optional, Sequence
 from repro.experiments.figures import FIGURES, figure_rows
 from repro.experiments.report import format_table, rows_to_csv
 from repro.experiments.runner import run_sweep, sweep_failures
-from repro.experiments.scenarios import PAPER_RATES, SCENARIOS, paper_scenario, scaled_scenario
+from repro.experiments.scenarios import (
+    PAPER_RATES,
+    SCENARIOS,
+    SINR_PROFILES,
+    paper_scenario,
+    scaled_scenario,
+    sinr_preset,
+)
 from repro.world.network import PROTOCOLS, ScenarioConfig, build_network
 
 
@@ -37,6 +44,23 @@ def _load_faults(path: Optional[str]):
     from repro.faults import FaultPlan
 
     return FaultPlan.load(path)
+
+
+def _make_sinr(args: argparse.Namespace):
+    """A SinrConfig from the --sinr flags (None when --sinr is absent)."""
+    profile = getattr(args, "sinr", None)
+    if not profile:
+        return None
+    overrides = {}
+    if getattr(args, "sinr_threshold", None) is not None:
+        overrides["sinr_threshold_db"] = args.sinr_threshold
+    if getattr(args, "sinr_sigma", None) is not None:
+        overrides["shadowing_sigma_db"] = args.sinr_sigma
+    if getattr(args, "sinr_fading", None):
+        overrides["fading"] = args.sinr_fading
+    if getattr(args, "tx_jitter", None) is not None:
+        overrides["tx_power_jitter_db"] = args.tx_jitter
+    return sinr_preset(profile, **overrides)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -56,6 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace=bool(args.trace_jsonl),
         faults=_load_faults(args.faults),
         oracle=use_oracle,
+        sinr=_make_sinr(args),
     )
     tracer = None
     if args.trace_jsonl:
@@ -92,6 +117,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 fh.write("\n")
             print(f"oracle report -> {args.oracle_report}")
         oracle_failed = report["total"] > 0
+    if summary.sinr is not None:
+        stats = summary.sinr
+        mean_sinr = stats["mean_sinr_db"]
+        print(f"sinr: {stats['sinr_dropped']} interference drop(s), "
+              f"{stats['delivered']} deliveries"
+              + (f" at mean {mean_sinr:.1f} dB "
+                 f"(min {stats['min_sinr_db']:.1f} dB)"
+                 if mean_sinr is not None else "")
+              + f", max {stats['concurrent_high_water']} concurrent signals")
     rows = [{"metric": k, "value": v} for k, v in [
         ("delivery ratio", summary.delivery_ratio),
         ("avg delay (s)", summary.avg_delay_s),
@@ -188,12 +222,14 @@ FIGURE_SCALES = {
 }
 
 
-def _scale_make_config(scale: str, faults=None, oracle: bool = False):
+def _scale_make_config(scale: str, faults=None, oracle: bool = False,
+                       sinr=None):
     """The make_config factory for one --scale choice.
 
-    ``faults`` (a FaultPlan) and ``oracle`` apply to every point; both
-    live on the ScenarioConfig, so they flow into each point's
-    config_hash and the store resumes faulted campaigns exactly.
+    ``faults`` (a FaultPlan), ``oracle`` and ``sinr`` (a SinrConfig)
+    apply to every point; all live on the ScenarioConfig, so they flow
+    into each point's config_hash and the store resumes faulted or
+    SINR campaigns exactly.
     """
     def make_config(protocol, scenario, rate, seed):
         if scale == "paper":
@@ -202,8 +238,8 @@ def _scale_make_config(scale: str, faults=None, oracle: bool = False):
             n_nodes, n_packets, _rates, _seeds = FIGURE_SCALES[scale]
             config = scaled_scenario(protocol, scenario, rate, seed,
                                      n_packets=n_packets, n_nodes=n_nodes)
-        if faults is not None or oracle:
-            config = config.variant(faults=faults, oracle=oracle)
+        if faults is not None or oracle or sinr is not None:
+            config = config.variant(faults=faults, oracle=oracle, sinr=sinr)
         return config
     return make_config
 
@@ -308,15 +344,19 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             print(f"[{done}/{total}] {key} {status}", flush=True)
         options["progress"] = default_progress
     faults = _load_faults(args.faults)
+    sinr = _make_sinr(args)
     manifest_extra = {"scale": args.scale}
     if faults is not None:
         manifest_extra["faults"] = faults.to_dict()
     if args.oracle:
         manifest_extra["oracle"] = True
+    if sinr is not None:
+        manifest_extra["sinr"] = sinr.to_dict()
     results = campaign.run(
         args.protocols.split(","), list(SCENARIOS), list(rates),
         list(seeds),
-        _scale_make_config(args.scale, faults=faults, oracle=args.oracle),
+        _scale_make_config(args.scale, faults=faults, oracle=args.oracle,
+                           sinr=sinr),
         manifest_extra=manifest_extra,
         **options,
     )
@@ -339,11 +379,14 @@ def _cmd_campaign_farm(args: argparse.Namespace) -> int:
         print(f"[{done}/{total}] {key} {status}", flush=True)
 
     faults = _load_faults(args.faults)
+    sinr = _make_sinr(args)
     manifest_extra = {"scale": args.scale}
     if faults is not None:
         manifest_extra["faults"] = faults.to_dict()
     if args.oracle:
         manifest_extra["oracle"] = True
+    if sinr is not None:
+        manifest_extra["sinr"] = sinr.to_dict()
     telemetry = None
     if args.telemetry:
         from repro.sim.telemetry import Telemetry
@@ -351,7 +394,8 @@ def _cmd_campaign_farm(args: argparse.Namespace) -> int:
         telemetry = Telemetry()
     results = farm.run(
         args.protocols.split(","), list(SCENARIOS), list(rates), list(seeds),
-        _scale_make_config(args.scale, faults=faults, oracle=args.oracle),
+        _scale_make_config(args.scale, faults=faults, oracle=args.oracle,
+                           sinr=sinr),
         workers=args.workers, retries=args.retries,
         progress=default_progress if args.progress else None,
         manifest_extra=manifest_extra, telemetry=telemetry,
@@ -406,9 +450,14 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             from repro.faults import FaultPlan
 
             faults = FaultPlan.from_dict(manifest["faults"])
+        sinr = None
+        if manifest.get("sinr") is not None:
+            from repro.phy.sinr import SinrConfig
+
+            sinr = SinrConfig.from_dict(manifest["sinr"])
         make_config = _scale_make_config(
             manifest["scale"], faults=faults,
-            oracle=bool(manifest.get("oracle")),
+            oracle=bool(manifest.get("oracle")), sinr=sinr,
         )
     status = campaign.status(make_config)
     print(render_status(status, title=f"campaign store: {campaign.path}"),
@@ -447,6 +496,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--oracle-report", metavar="OUT.json",
                      help="write the oracle's violation report as JSON "
                           "(implies --oracle)")
+    run.add_argument("--sinr", choices=sorted(SINR_PROFILES),
+                     help="SINR interference reception on a named "
+                          "propagation profile (accumulated in-air power, "
+                          "decode by SINR threshold; see "
+                          "repro.phy.sinr)")
+    run.add_argument("--sinr-threshold", type=float, metavar="DB",
+                     help="decode SINR threshold in dB (default 10)")
+    run.add_argument("--sinr-sigma", type=float, metavar="DB",
+                     help="lognormal shadowing sigma in dB (shadowing/"
+                          "fading profiles; default 6)")
+    run.add_argument("--sinr-fading", choices=("rayleigh", "rician"),
+                     help="add fast fading per arrival to the chosen "
+                          "profile")
+    run.add_argument("--tx-jitter", type=float, metavar="DB",
+                     help="heterogeneous radios: per-node uniform tx-power "
+                          "jitter of +-DB (deterministic in the seed)")
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(
@@ -523,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="attach the invariant oracle to every "
                                    "point; per-point violation reports "
                                    "are persisted in the store")
+    campaign_run.add_argument("--sinr", choices=sorted(SINR_PROFILES),
+                              help="run every point under SINR "
+                                   "interference reception on the named "
+                                   "propagation profile (part of each "
+                                   "point's config hash)")
     _add_sweep_flags(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
@@ -559,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_farm.add_argument("--oracle", action="store_true",
                                help="attach the invariant oracle to "
                                     "every point")
+    campaign_farm.add_argument("--sinr", choices=sorted(SINR_PROFILES),
+                               help="run every point under SINR "
+                                    "interference reception on the "
+                                    "named propagation profile")
     campaign_farm.add_argument("--telemetry", metavar="OUT.json",
                                help="write the farm counters (done/"
                                     "stolen/requeued, worker deaths) "

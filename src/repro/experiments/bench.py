@@ -18,12 +18,16 @@ Three tiers:
 * **full** -- three 40-node paper-scale runs (RMAC x2 seeds, BMMM x1),
   a few hundred thousand events each. This is the number quoted in
   ``BENCH_*.json`` and in PR descriptions.
-* **smoke** -- one 12-node run (~13k events) finishing in well under a
-  second; cheap enough for CI on every push. CI compares its
-  events/sec against the committed baseline with a generous regression
-  threshold (wall-clock on shared runners is noisy).
+* **smoke** -- a 12-node run (~13k events) finishing in well under a
+  second, plus a same-scale ``sinr-shadowing`` companion through the
+  SINR interference subsystem; cheap enough for CI on every push. CI
+  compares events/sec against the committed baseline with a generous
+  regression threshold (wall-clock on shared runners is noisy), which
+  also fails the build if SINR work slows the threshold path.
 * **large** -- the scaling tier (200/500/1000 nodes, static + random
-  waypoint) exercising the spatial-grid link path, plus
+  waypoint) exercising the spatial-grid link path, a ``sinr-500``
+  point measuring accumulated-power reception under shadowing at 500
+  nodes, plus
   ``neighbor-rebuild`` microbenchmark points that time whole-bucket
   link-table rebuilds on the grid path against the brute-force
   per-sender path on identical trajectories (asserting the tables are
@@ -50,6 +54,7 @@ import os
 import subprocess
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.scenarios import sinr_preset
 from repro.world.network import ScenarioConfig, build_network
 
 #: RunSummary fields captured per point; all deterministic given the seed.
@@ -86,10 +91,21 @@ FULL_POINTS: List[dict] = [
 
 #: The CI smoke sweep: one small static run, best-of-3 -- a cold
 #: process's first run pays interpreter warm-up that would otherwise
-#: read as a 30%+ "regression" on an 80 ms benchmark.
+#: read as a 30%+ "regression" on an 80 ms benchmark. The labeled
+#: ``sinr-shadowing`` companion runs the same scale through the SINR
+#: subsystem (accumulated-power reception under lognormal shadowing),
+#: so CI measures the interference path's cost separately -- the
+#: unlabeled threshold-path point must stay untouched by SINR work.
+#: Point configs hold live ``SinrConfig`` objects; points are consumed
+#: in-process by :func:`run_point` and never serialized (only the
+#: resulting records are).
 SMOKE_POINTS: List[dict] = [
     _point("smoke", "rmac", 2, repeat=3, n_nodes=12, width=200.0,
            height=140.0, rate_pps=5.0, n_packets=10),
+    {**_point("smoke", "rmac", 5, repeat=3, n_nodes=12, width=200.0,
+              height=140.0, rate_pps=5.0, n_packets=10,
+              sinr=sinr_preset("shadowing")),
+     "label": "sinr-shadowing"},
 ]
 
 #: Field sizes for the scaling tier, chosen to keep the paper's node
@@ -136,6 +152,16 @@ LARGE_POINTS: List[dict] = [
     _large_point(500, True, 1),
     _large_point(1000, False, 1),
     _large_point(1000, True, 1, compare_brute=True),
+    # SINR scaling point: 500 static nodes under lognormal shadowing
+    # with interference accounting on -- the nightly number for "what
+    # does accumulated-power reception cost at scale". Crafted by hand
+    # because the sinr config must land inside ``config`` (where
+    # ``_large_point``'s extra kwargs land top-level).
+    {**_point("large", "rmac", 1, n_nodes=500,
+              width=_LARGE_FIELDS[500][0], height=_LARGE_FIELDS[500][1],
+              mobile=False, sinr=sinr_preset("shadowing"),
+              **_LARGE_TRAFFIC),
+     "label": "sinr-500"},
     _rebuild_point(200, epochs=40),
     _rebuild_point(500, epochs=30),
     _rebuild_point(1000, epochs=20),

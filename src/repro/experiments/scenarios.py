@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.phy.sinr import SinrConfig
 from repro.world.network import ScenarioConfig
 
 #: The paper's eight source rates (packets/second).
@@ -34,6 +35,38 @@ SCENARIOS: Dict[str, dict] = {
     "speed1": dict(mobile=True, min_speed=0.0, max_speed=4.0, pause_s=10.0),
     "speed2": dict(mobile=True, min_speed=0.0, max_speed=8.0, pause_s=5.0),
 }
+
+
+#: Named SINR/interference profiles (see :mod:`repro.phy.sinr`). Each is
+#: a complete :class:`SinrConfig`; :func:`sinr_preset` applies overrides.
+SINR_PROFILES: Dict[str, dict] = {
+    # Log-distance path loss + lognormal shadowing (the default richer
+    # channel): link-specific ranges, hidden interference, SINR decode.
+    "shadowing": dict(propagation="shadowing"),
+    # Deterministic log-distance path loss (circular ranges) with
+    # accumulated-interference reception.
+    "logdistance": dict(propagation="logdistance"),
+    # The paper's fixed-range geometry with SINR reception on top:
+    # every in-range signal is equally strong, so this reduces to the
+    # overlap-collision rule (the equivalence-oracle profile).
+    "unitdisk": dict(propagation="unitdisk"),
+    # Shadowing plus Rayleigh fast fading per arrival.
+    "fading": dict(propagation="shadowing", fading="rayleigh"),
+}
+
+
+def sinr_preset(profile: str, **overrides) -> SinrConfig:
+    """A :class:`SinrConfig` from a named profile plus field overrides.
+
+    ``sinr_preset("shadowing", shadowing_sigma_db=8.0)`` etc.; profiles
+    are listed in :data:`SINR_PROFILES`.
+    """
+    if profile not in SINR_PROFILES:
+        raise ValueError(
+            f"unknown SINR profile {profile!r}; have {sorted(SINR_PROFILES)}")
+    fields = dict(SINR_PROFILES[profile])
+    fields.update(overrides)
+    return SinrConfig(**fields)
 
 
 def paper_scenario(

@@ -92,6 +92,8 @@ def canonical_config_json(config) -> str:
         del payload["faults"]
     if payload.get("oracle", "absent") is False:
         del payload["oracle"]
+    if payload.get("sinr", "absent") is None:
+        del payload["sinr"]
     return json.dumps(payload, sort_keys=True, default=_canonical_default)
 
 

@@ -77,6 +77,11 @@ class RunSummary:
     #: Full oracle report (see repro.oracle), JSON-serializable:
     #: per-rule counts plus a bounded sample of full violations.
     oracle_report: Optional[dict] = None
+    # --- SINR interference stats (None on the threshold path) ----------
+    #: Per-run interference stats (see repro.phy.sinr.SinrState.stats):
+    #: SINR-dropped receptions, deliveries, mean/min SINR at delivery,
+    #: and the concurrent-signal high-water mark.
+    sinr: Optional[dict] = None
 
     # -- stable serialization (the result store's record payload) ------
     def to_dict(self) -> dict:
@@ -118,6 +123,7 @@ def summarize(
     stats: Sequence[MacStats],
     telemetry=None,
     oracle: Optional[dict] = None,
+    sinr: Optional[dict] = None,
 ) -> RunSummary:
     """Aggregate one run's collector + per-node MAC stats.
 
@@ -126,6 +132,8 @@ def summarize(
     ``oracle`` is an optional :meth:`repro.oracle.InvariantOracle.report`
     dict; its violation count also lands in the telemetry dict (when
     both are collected) so operational dashboards see one payload.
+    ``sinr`` is an optional :meth:`repro.phy.sinr.SinrState.stats` dict
+    (interference drops, SINR at delivery, concurrency high-water).
     """
     forwarders = [s for s in stats if s.packets_offered > 0]
 
@@ -171,4 +179,5 @@ def summarize(
         telemetry=telemetry_dict,
         oracle_violations=oracle["total"] if oracle is not None else None,
         oracle_report=oracle if oracle is not None else None,
+        sinr=sinr,
     )

@@ -18,6 +18,13 @@ Semantics, following Section 3 of the paper:
     Attributing *presence* rather than emitter identity to a window is
     what lets the model reproduce the paper's "mixed-up ABT" phenomenon
     (Fig. 5) instead of assuming oracle knowledge.
+
+Tone reach: by default an emission reaches every *sensed* link of the
+emitter (``LinkTable.delay_map``); under the SINR subsystem's
+power-domain link tables that already excludes interference-only links.
+An explicit ``power_threshold_dbm`` moves tone detection fully into the
+power domain: the tone reaches exactly the links whose received power
+clears the threshold.
 """
 
 from __future__ import annotations
@@ -72,12 +79,17 @@ class BusyToneChannel:
         detect_time: int,
         tracer: Tracer = NULL_TRACER,
         faults: Optional["FaultInjector"] = None,
+        power_threshold_dbm: Optional[float] = None,
     ):
         self._sim = sim
         self._neighbors = neighbors
         self.tone = tone
         #: lambda: continuous presence needed for detection (ns).
         self.detect_time = int(detect_time)
+        #: Tone-detection threshold in the power domain: when set, an
+        #: emission reaches exactly the links whose received power (dBm)
+        #: clears it. None = all sensed links.
+        self.power_threshold_dbm = power_threshold_dbm
         self._tracer = tracer
         #: Optional fault injector: a crashed emitter's tone reaches
         #: nobody, and a crashed listener senses nothing new. ``None``
@@ -108,12 +120,14 @@ class BusyToneChannel:
         now = self._sim.now
         table = self._neighbors.table_from(emitter, now)
         faults = self._faults
+        threshold = self.power_threshold_dbm
         suppressed = False
         if faults is None:
             # Shared, lazily-built view: every emission in the same bucket
             # epoch reuses one dict instead of re-deriving its own.
             # _Emission only ever reads it (.get/.items), never mutates.
-            link_delays = table.delay_map
+            link_delays = (table.delay_map if threshold is None
+                           else table.tone_map(threshold))
         elif faults.node_down(emitter, now):
             # A crashed emitter's tone reaches nobody. The emission is
             # still registered (with no listeners) so the MAC's matching
@@ -126,8 +140,15 @@ class BusyToneChannel:
                                   tone=self.tone.value)
         else:
             # Deaf listeners (crashed at emission start) sense nothing.
-            link_delays = {l.node: l.delay_ns for l in table.links
-                           if not faults.node_down(l.node, now)}
+            if threshold is None:
+                link_delays = {l.node: l.delay_ns for l in table.links
+                               if l.sensed
+                               and not faults.node_down(l.node, now)}
+            else:
+                link_delays = {l.node: l.delay_ns for l in table.links
+                               if l.power_dbm is not None
+                               and l.power_dbm >= threshold
+                               and not faults.node_down(l.node, now)}
         emission = _Emission(emitter, now, link_delays, suppressed=suppressed)
         self._active[emitter] = emission
         # Presence deltas batch through schedule_many; detections (which

@@ -12,6 +12,20 @@ Models GloMoSim-style frame transmission with:
 * abortable transmissions (truncated frames shorten the busy interval
   and are never delivered).
 
+Two optional refinements of the overlap rule, mutually exclusive:
+
+* **capture** (``capture_threshold_db``): an overlapping frame survives
+  when its power beats every interferer by the margin;
+* **SINR** (``sinr``, a :class:`repro.phy.sinr.SinrState`): every
+  arrival's power accumulates in a per-node interference tracker, and
+  delivery is decided at arrival end from the signal-to-(peak
+  interference + noise) ratio. Capture is the single-interferer special
+  case of SINR, so configuring both raises a
+  :class:`~repro.sim.engine.SimulationError`. With SINR's interference
+  accounting *off*, the classic overlap rule applies and the SINR check
+  reduces to signal-vs-noise (behaviorally identical to the threshold
+  path under a permissive threshold -- property-tested).
+
 The channel is protocol-agnostic: RMAC, 802.11 DCF, BMMM and BMW all
 run on the same instance.
 """
@@ -29,6 +43,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.faults.injector import FaultInjector
+    from repro.phy.sinr import SinrState
 
 
 class ChannelListener(Protocol):
@@ -77,12 +92,17 @@ class Transmission:
 
 
 class _Reception:
-    __slots__ = ("tx", "corrupted", "power_dbm")
+    __slots__ = ("tx", "corrupted", "power_dbm", "signal_mw", "peak_itf_mw")
 
     def __init__(self, tx: Transmission, corrupted: bool, power_dbm=None):
         self.tx = tx
         self.corrupted = corrupted
         self.power_dbm = power_dbm
+        #: SINR mode only: the arrival's linear signal power and the
+        #: highest concurrent interference observed during the reception
+        #: window (peaks only move when new signals arrive).
+        self.signal_mw = 0.0
+        self.peak_itf_mw = 0.0
 
 
 class DataChannel:
@@ -98,7 +118,13 @@ class DataChannel:
         tracer: Tracer = NULL_TRACER,
         capture_threshold_db: Optional[float] = None,
         faults: Optional["FaultInjector"] = None,
+        sinr: Optional["SinrState"] = None,
     ):
+        if capture_threshold_db is not None and sinr is not None:
+            raise SimulationError(
+                "capture_threshold_db and SINR reception are mutually "
+                "exclusive: capture is the single-interferer special case "
+                "of SINR (set sinr_threshold_db instead)")
         self._sim = sim
         self._neighbors = neighbors
         self._phy = phy
@@ -121,6 +147,10 @@ class DataChannel:
         #: a weak one) kills the weak reception; the strong one survives
         #: only if it clears the margin over all concurrent signals.
         self.capture_threshold_db = capture_threshold_db
+        #: Optional SINR reception state (see repro.phy.sinr). ``None``
+        #: keeps the arrival hot paths on a single ``is None`` test --
+        #: the same zero-cost-when-disabled discipline as ``faults``.
+        self._sinr = sinr
         #: node -> {transmission: power_dbm} of signals currently in the
         #: air at that node (capture mode only).
         self._signal_powers: Dict[int, Dict[Transmission, float]] = {}
@@ -152,6 +182,11 @@ class DataChannel:
     @property
     def neighbors(self) -> NeighborService:
         return self._neighbors
+
+    @property
+    def sinr(self) -> Optional["SinrState"]:
+        """The SINR reception state, or None on the threshold path."""
+        return self._sinr
 
     # ------------------------------------------------------------------
     # Sensing
@@ -289,6 +324,9 @@ class DataChannel:
     # Arrival bookkeeping (driven by scheduled events)
     # ------------------------------------------------------------------
     def _arrival_start(self, tx: Transmission, link: Link) -> None:
+        if self._sinr is not None:
+            self._arrival_start_sinr(tx, link, self._sinr)
+            return
         node = link.node
         prior = self._busy.get(node, 0)
         self._busy[node] = prior + 1
@@ -338,7 +376,68 @@ class DataChannel:
             if listener is not None:
                 listener.on_rx_start(tx.sender)
 
+    def _arrival_start_sinr(self, tx: Transmission, link: Link,
+                            sinr: "SinrState") -> None:
+        """Arrival start under SINR reception.
+
+        Mirrors :meth:`_arrival_start` with three changes: busy counters
+        move only for *sensed* links (interference-only links are
+        invisible to the radio), every arrival's linear power lands in
+        the interference tracker (bumping the peak interference of any
+        ongoing reception at the node), and -- with interference
+        accounting on -- overlap alone no longer corrupts: the SINR
+        decision at arrival end replaces the boolean rule.
+        """
+        node = link.node
+        power_dbm = link.power_dbm
+        # Power-mode links always carry power; so do classic links now
+        # that every model reports one (base-class fallback).
+        power_mw = 10.0 ** (power_dbm / 10.0)  # type: ignore[operator]
+        fading = sinr.fading
+        if fading is not None:
+            power_mw *= fading.gain(sinr.rng)
+        sensed = link.sensed
+        if sensed:
+            prior = self._busy.get(node, 0)
+            self._busy[node] = prior + 1
+        else:
+            prior = 0
+        ongoing = self._receiving.setdefault(node, {})
+        corrupted = False
+        if sinr.interference:
+            total = sinr.tracker.add(node, tx, power_mw)
+            if ongoing:
+                for rec in ongoing.values():
+                    itf = total - rec.signal_mw
+                    if itf > rec.peak_itf_mw:
+                        rec.peak_itf_mw = itf
+            initial_itf = total - power_mw
+        else:
+            initial_itf = 0.0
+            if prior > 0:
+                # Interference accounting off: the paper's overlap rule.
+                for rec in ongoing.values():
+                    rec.corrupted = True
+                corrupted = True
+        if node in self._transmitting:
+            corrupted = True
+        if link.in_rx_range:
+            faults = self._faults
+            if faults is not None and faults.suppresses_delivery(
+                    tx.sender, node, self._sim.now):
+                return
+            rec = _Reception(tx, corrupted, power_dbm)
+            rec.signal_mw = power_mw
+            rec.peak_itf_mw = initial_itf
+            ongoing[tx] = rec
+            listener = self._listeners.get(node)
+            if listener is not None:
+                listener.on_rx_start(tx.sender)
+
     def _arrival_end(self, tx: Transmission, link: Link) -> None:
+        if self._sinr is not None:
+            self._arrival_end_sinr(tx, link, self._sinr)
+            return
         node = link.node
         if self.capture_threshold_db is not None:
             signals = self._signal_powers.get(node)
@@ -399,6 +498,88 @@ class DataChannel:
         )
         tracer = self._tracer
         if ok:
+            if tracer.enabled:
+                tracer.emit(self._sim.now, node, "rx-ok", frame=str(frame), sender=tx.sender)
+            listener.on_frame_received(frame, tx.sender)
+        else:
+            if tracer.enabled:
+                tracer.emit(self._sim.now, node, "rx-error", frame=str(frame), sender=tx.sender)
+            listener.on_frame_error(tx.sender)
+
+    def _arrival_end_sinr(self, tx: Transmission, link: Link,
+                          sinr: "SinrState") -> None:
+        """Arrival end under SINR reception (mirrors :meth:`_arrival_end`).
+
+        The delivery decision adds one clause: the reception must clear
+        the SINR threshold against the peak interference observed during
+        its window. SINR-dropped frames skip the bit-error draw (like
+        collided frames on the classic path), so the RNG stream is
+        identical when the SINR clause never fires.
+        """
+        node = link.node
+        if sinr.interference:
+            sinr.tracker.remove(node, tx)
+        if link.sensed:
+            busy = self._busy
+            count = busy.get(node)
+            if not count or count < 0:
+                self._tracer.emit(
+                    self._sim.now, node, "channel-underflow", sender=tx.sender
+                )
+                raise SimulationError(
+                    f"busy-counter underflow at node {node}: arrival-end "
+                    f"from sender {tx.sender} at t={self._sim.now} without "
+                    f"a matching arrival-start"
+                )
+            count -= 1
+            if count:
+                busy[node] = count
+            else:
+                del busy[node]
+                if node not in self._transmitting:
+                    self._last_busy_end[node] = self._sim.now
+                    self._fire_idle(node)
+        ongoing = self._receiving.get(node)
+        rec = ongoing.pop(tx, None) if ongoing else None
+        if rec is None:
+            return
+        listener = self._listeners.get(node)
+        if listener is None:
+            return
+        frame = tx.frame
+        size = frame.size_bytes  # type: ignore[attr-defined]
+        faults = self._faults
+        if faults is not None:
+            now = self._sim.now
+            if faults.suppresses_delivery(tx.sender, node, now):
+                if self._tracer.enabled:
+                    self._tracer.emit(now, node, "fault-rx-dropped",
+                                      sender=tx.sender)
+                return
+            if not rec.corrupted and faults.corrupts_arrival(
+                    tx.sender, node, now, self._rng):
+                rec.corrupted = True
+                if self._tracer.enabled:
+                    self._tracer.emit(now, node, "fault-corrupt",
+                                      sender=tx.sender)
+        tracer = self._tracer
+        reception = sinr.reception
+        sinr_db = reception.sinr_db(rec.signal_mw, rec.peak_itf_mw)
+        sinr_ok = reception.decodes(sinr_db)
+        if not sinr_ok and not rec.corrupted and not tx.aborted:
+            sinr.counters.dropped += 1
+            if tracer.enabled:
+                tracer.emit(self._sim.now, node, "sinr-drop",
+                            frame=str(frame), sender=tx.sender,
+                            sinr_db=round(sinr_db, 3))
+        ok = (
+            not rec.corrupted
+            and not tx.aborted
+            and sinr_ok
+            and (self._error_free or not self._error_model.corrupts(size, self._rng))
+        )
+        if ok:
+            sinr.counters.record_delivery(sinr_db)
             if tracer.enabled:
                 tracer.emit(self._sim.now, node, "rx-ok", frame=str(frame), sender=tx.sender)
             listener.on_frame_received(frame, tx.sender)

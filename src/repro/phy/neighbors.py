@@ -36,10 +36,25 @@ Two interchangeable link-computation paths:
 :data:`GRID_THRESHOLD` nodes -- at small n the batched rebuild has no
 advantage and the committed benchmark baselines exercise the original
 path byte-for-byte -- and grid at or above it.
+
+**Power mode** (:class:`LinkPowerSpec`, used by the SINR subsystem):
+instead of the model's boolean range predicates, links are kept down to
+an *interference* cutoff (default: the noise floor) and every decision
+-- decodable, carrier-sensed, kept at all -- is a threshold on the
+link's received power, which includes per-pair shadowing
+(``model.link_power_dbm``) and per-node heterogeneous radio offsets.
+Links below carrier sense but above the cutoff are *interference-only*
+(``Link.sensed`` False): they feed the SINR interference tracker but
+never raise carrier sense or busy-tone detection. The grid cell size
+becomes the spec's ``prune_range`` (the interference radius), not the
+model's ``max_range()``. The scalar and batched power paths share the
+same float64 operations, so grid == brute stays bit-exact in power mode
+too (property-tested).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import repeat
 from typing import Dict, List, NamedTuple, Optional, Protocol, Sequence, Tuple
 
@@ -105,8 +120,15 @@ class Link(NamedTuple):
     in_rx_range: bool  # False => carrier-sensed only (cannot decode)
     #: Received power at the node (dBm) when the propagation model can
     #: compute it (LogDistanceModel); None for pure unit-disk models.
-    #: Feeds the optional capture-effect collision resolution.
+    #: Feeds the optional capture-effect collision resolution and the
+    #: SINR interference accumulation.
     power_dbm: Optional[float] = None
+    #: False => interference-only: the node's radio cannot sense this
+    #: transmission (no carrier sense, no busy-tone detection), but its
+    #: power still lands in the SINR interference tracker. Only the
+    #: power-mode link builder produces False; classic links are always
+    #: sensed (the carrier-sense predicate is the keep filter there).
+    sensed: bool = True
 
 
 class LinkTable:
@@ -114,22 +136,79 @@ class LinkTable:
 
     ``delay_map`` (node -> delay_ns) is built lazily and shared by every
     busy-tone emission in the epoch, instead of each emission re-deriving
-    its own dict from the links.
+    its own dict from the links. It covers *sensed* links only: a
+    busy tone (like carrier sense) reaches exactly the nodes whose
+    radios detect energy; power-mode interference-only links are
+    excluded. ``tone_map`` restricts further to links at or above an
+    explicit power threshold (busy-tone detection in the power domain);
+    one threshold is cached since a run uses a single tone threshold.
     """
 
-    __slots__ = ("links", "_delay_map")
+    __slots__ = ("links", "_delay_map", "_tone_thr", "_tone_map")
 
     def __init__(self, links: Tuple[Link, ...]):
         self.links = links
         self._delay_map: Optional[Dict[int, int]] = None
+        self._tone_thr: Optional[float] = None
+        self._tone_map: Optional[Dict[int, int]] = None
 
     @property
     def delay_map(self) -> Dict[int, int]:
         mapping = self._delay_map
         if mapping is None:
-            mapping = {link.node: link.delay_ns for link in self.links}
+            mapping = {link.node: link.delay_ns
+                       for link in self.links if link.sensed}
             self._delay_map = mapping
         return mapping
+
+    def tone_map(self, threshold_dbm: float) -> Dict[int, int]:
+        """node -> delay for links whose power clears ``threshold_dbm``."""
+        if self._tone_thr != threshold_dbm:
+            self._tone_map = {
+                link.node: link.delay_ns for link in self.links
+                if link.power_dbm is not None
+                and link.power_dbm >= threshold_dbm
+            }
+            self._tone_thr = threshold_dbm
+        return self._tone_map  # type: ignore[return-value]
+
+
+@dataclass(eq=False)
+class LinkPowerSpec:
+    """Power-domain link-building thresholds (the SINR subsystem's view).
+
+    When a :class:`NeighborService` carries one of these, link tables
+    are built from received *power* rather than the model's boolean
+    range predicates: a candidate is kept iff its link power (pair-aware
+    ``model.link_power_dbm`` plus per-node radio offsets) reaches
+    ``keep_threshold_dbm`` (the interference cutoff), decodes iff it
+    reaches ``rx_threshold_dbm``, and is carrier-sensed
+    (:attr:`Link.sensed`) iff it reaches ``cs_threshold_dbm``.
+    ``prune_range`` bounds the spatial search (grid cell size / brute
+    candidate radius): the distance beyond which no link -- even with
+    maximal shadowing and radio offsets -- can reach the cutoff.
+    """
+
+    rx_threshold_dbm: float
+    cs_threshold_dbm: float
+    keep_threshold_dbm: float
+    prune_range: float
+    #: Per-node transmit-side offset (tx-power jitter + antenna gain,
+    #: dB), indexed by sender id; None = homogeneous radios.
+    tx_offset_dbm: Optional[np.ndarray] = None
+    #: Per-node receive-side antenna gain (dB), indexed by receiver id.
+    rx_gain_dbm: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if self.prune_range <= 0:
+            raise ValueError("prune_range must be positive")
+        if self.keep_threshold_dbm > self.cs_threshold_dbm:
+            raise ValueError(
+                "keep_threshold_dbm (interference cutoff) must not exceed "
+                "cs_threshold_dbm")
+        if (self.tx_offset_dbm is None) != (self.rx_gain_dbm is None):
+            raise ValueError(
+                "tx_offset_dbm and rx_gain_dbm must be set together")
 
 
 class NeighborCounters:
@@ -172,12 +251,14 @@ class NeighborService:
         cache_window: int = 50_000_000,
         indexing: str = "auto",
         grid_threshold: int = GRID_THRESHOLD,
+        power_spec: Optional[LinkPowerSpec] = None,
     ):
         if indexing not in INDEXING_MODES:
             raise ValueError(
                 f"indexing must be one of {INDEXING_MODES}, got {indexing!r}")
         self._provider = provider
         self._model = model
+        self._power_spec = power_spec
         self._static = provider.is_static()
         self._cache_window = int(cache_window)
         self._indexing = indexing
@@ -217,6 +298,31 @@ class NeighborService:
     @property
     def model(self) -> PropagationModel:
         return self._model
+
+    @property
+    def power_spec(self) -> Optional[LinkPowerSpec]:
+        """The power-domain link spec, or None on the classic path."""
+        return self._power_spec
+
+    def _search_range(self) -> float:
+        """Spatial pruning radius: interference radius in power mode."""
+        spec = self._power_spec
+        return spec.prune_range if spec is not None else self._model.max_range()
+
+    def _link_power(self, sender: int, node: int, distance: float) -> float:
+        """Scalar link power incl. radio offsets (power mode only).
+
+        Addition order matches the batched path exactly
+        (``(base + tx_offset) + rx_gain``) so scalar and batch powers
+        are bit-identical.
+        """
+        spec = self._power_spec
+        power = self._model.link_power_dbm(sender, node, distance)
+        tx = spec.tx_offset_dbm
+        if tx is not None:
+            power = power + float(tx[sender])
+            power = power + float(spec.rx_gain_dbm[node])  # type: ignore[index]
+        return power
 
     @property
     def indexing(self) -> str:
@@ -360,7 +466,7 @@ class NeighborService:
             lazy = self._lazy_grid
             if lazy is None:
                 lazy = self._lazy_grid = SpatialGrid(
-                    self.positions_at(time_ns), self._model.max_range())
+                    self.positions_at(time_ns), self._search_range())
                 counters.grid_cells += lazy.n_cells
             table = LinkTable(self._compute_links_pruned(sender, time_ns, lazy))
             counters.links_built += len(table.links)
@@ -400,11 +506,12 @@ class NeighborService:
         lexsort reproduces brute's per-sender ascending-node order.
         """
         model = self._model
+        spec = self._power_spec
         counters = self.counters
         n = len(pos)
         counters.table_rebuilds += 1
-        max_range = model.max_range()
-        grid = SpatialGrid(pos, max_range)
+        search_range = self._search_range()
+        grid = SpatialGrid(pos, search_range)
         senders, cands = grid.pairs()
         counters.grid_cells += grid.n_cells
         counters.grid_pairs += len(senders)
@@ -412,34 +519,84 @@ class NeighborService:
         senders, cands = senders[keep], cands[keep]
         dists = np.hypot(pos[cands, 0] - pos[senders, 0],
                          pos[cands, 1] - pos[senders, 1])
-        keep = dists <= max_range
+        keep = dists <= search_range
         senders, cands, dists = senders[keep], cands[keep], dists[keep]
-        sensed = model.carrier_sensed_batch(dists)
-        if not sensed.all():
-            senders, cands, dists = senders[sensed], cands[sensed], dists[sensed]
-        order = np.lexsort((cands, senders))
-        senders, cands, dists = senders[order], cands[order], dists[order]
+        if spec is not None:
+            powers = model.link_power_dbm_batch(senders, cands, dists)
+            tx = spec.tx_offset_dbm
+            if tx is not None:
+                powers = powers + tx[senders]
+                powers = powers + spec.rx_gain_dbm[cands]  # type: ignore[index]
+            keep = powers >= spec.keep_threshold_dbm
+            if not keep.all():
+                senders, cands = senders[keep], cands[keep]
+                dists, powers = dists[keep], powers[keep]
+            order = np.lexsort((cands, senders))
+            senders, cands = senders[order], cands[order]
+            dists, powers = dists[order], powers[order]
+            in_rx = powers >= spec.rx_threshold_dbm
+            sensed_flags = powers >= spec.cs_threshold_dbm
+            powers_list = powers.tolist()
+            sensed_list = sensed_flags.tolist()
+        else:
+            sensed = model.carrier_sensed_batch(dists)
+            if not sensed.all():
+                senders, cands, dists = (senders[sensed], cands[sensed],
+                                         dists[sensed])
+            order = np.lexsort((cands, senders))
+            senders, cands, dists = senders[order], cands[order], dists[order]
+            in_rx = model.in_range_batch(dists)
+            power_batch = getattr(model, "received_power_dbm_batch", None)
+            if power_batch is None:
+                powers_list = repeat(None)
+            else:
+                powers_list = power_batch(dists).tolist()
+            sensed_list = repeat(True)
         delays = np.rint(dists / _LIGHT_SPEED_M_PER_NS)
         np.maximum(delays, 1.0, out=delays)
-        in_rx = model.in_range_batch(dists)
         nodes_list = cands.tolist()
         delays_list = delays.astype(np.int64).tolist()
         in_rx_list = in_rx.tolist()
-        power_batch = getattr(model, "received_power_dbm_batch", None)
-        if power_batch is None:
-            powers_list = repeat(None)
-        else:
-            powers_list = power_batch(dists).tolist()
         # tuple.__new__ skips the namedtuple __new__ wrapper (~2x cheaper
         # per link; construction dominates the rebuild at large n). The
-        # zip always supplies all four fields, so the result is the same
-        # 4-tuple Link(_compute_links) would build, defaults included.
+        # zip always supplies all five fields, so the result is the same
+        # 5-tuple Link(_compute_links) would build, defaults included.
         flat = list(map(tuple.__new__, repeat(Link),
-                        zip(nodes_list, delays_list, in_rx_list, powers_list)))
+                        zip(nodes_list, delays_list, in_rx_list, powers_list,
+                            sensed_list)))
         counters.links_built += len(flat)
         bounds = np.searchsorted(senders, np.arange(n + 1)).tolist()
         return [LinkTable(tuple(flat[bounds[s]:bounds[s + 1]]))
                 for s in range(n)]
+
+    def _links_by_power(self, sender: int, cand: np.ndarray,
+                        dists: np.ndarray) -> Tuple[Link, ...]:
+        """Scalar power-mode link loop (shared by brute and pruned paths).
+
+        Same float64 operations per element as the batched power branch
+        of :meth:`_build_tables`, candidates visited in ascending-node
+        order -- bit-identical to the grid path by construction.
+        """
+        spec = self._power_spec
+        links: List[Link] = []
+        for idx in np.flatnonzero(dists <= spec.prune_range):
+            node = int(cand[idx])
+            if node == sender:
+                continue
+            d = float(dists[idx])
+            power = self._link_power(sender, node, d)
+            if power < spec.keep_threshold_dbm:
+                continue
+            links.append(
+                Link(
+                    node=node,
+                    delay_ns=propagation_delay_ns(d),
+                    in_rx_range=power >= spec.rx_threshold_dbm,
+                    power_dbm=power,
+                    sensed=power >= spec.cs_threshold_dbm,
+                )
+            )
+        return tuple(links)
 
     def _compute_links(self, sender: int, time_ns: int) -> Tuple[Link, ...]:
         """The brute-force reference: one sender, one O(n) distance pass."""
@@ -448,6 +605,9 @@ class NeighborService:
             raise ValueError(f"unknown sender id {sender}")
         deltas = pos - pos[sender]
         dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        if self._power_spec is not None:
+            return self._links_by_power(
+                sender, np.arange(len(pos)), dists)
         links: List[Link] = []
         max_range = self._model.max_range()
         candidates = np.flatnonzero(dists <= max_range)
@@ -485,6 +645,8 @@ class NeighborService:
         cand = grid.candidates_of(sender)
         deltas = pos[cand] - pos[sender]
         dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        if self._power_spec is not None:
+            return self._links_by_power(sender, cand, dists)
         links: List[Link] = []
         model = self._model
         max_range = model.max_range()
@@ -514,7 +676,11 @@ class NeighborService:
 
     def in_rx_range(self, a: int, b: int, time_ns: int) -> bool:
         """True if ``b`` can decode frames from ``a`` at ``time_ns``."""
-        return self._model.in_range(self.distance(a, b, time_ns))
+        d = self.distance(a, b, time_ns)
+        spec = self._power_spec
+        if spec is not None:
+            return self._link_power(a, b, d) >= spec.rx_threshold_dbm
+        return self._model.in_range(d)
 
     def invalidate(self) -> None:
         """Drop all cached neighbor sets (used by tests and topology changes)."""

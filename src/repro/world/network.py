@@ -30,6 +30,7 @@ from repro.net.bless import BlessConfig
 from repro.net.multicast import MulticastConfig
 from repro.net.stack import NetworkLayer
 from repro.oracle import InvariantOracle
+from repro.phy.sinr import SinrConfig
 from repro.sim.rng import derive_seed
 from repro.sim.telemetry import Telemetry
 from repro.sim.trace import NullBuffer, Tracer
@@ -89,6 +90,12 @@ class ScenarioConfig:
     #: surface in the RunSummary). ``False`` hashes identically to
     #: configs that predate the field.
     oracle: bool = False
+    #: Optional SINR interference subsystem (see repro.phy.sinr):
+    #: accumulated-power reception, shadowing/fading propagation,
+    #: heterogeneous radios. Part of the config hash; ``None`` (the
+    #: threshold path) hashes identically to configs that predate the
+    #: field, and keeps every channel hot path on one ``is None`` test.
+    sinr: Optional[SinrConfig] = None
 
     #: Float-typed fields coerced in __post_init__ so a config built
     #: with ``rate_pps=10`` hashes and compares identically to one
@@ -234,6 +241,7 @@ class Network:
             error_model=error_model,
             tracer=tracer,
             faults=injector,
+            sinr=config.sinr,
         )
         tb = self.testbed
         self.oracle: Optional[InvariantOracle] = (
@@ -287,6 +295,7 @@ class Network:
         return self.summary()
 
     def summary(self) -> RunSummary:
+        sinr_state = self.testbed.sinr_state
         if self.telemetry is not None:
             # Neighbor-layer counters (link-table rebuilds, cache hits/
             # misses, grid cells/pairs touched) ride along in the
@@ -294,6 +303,10 @@ class Network:
             self.telemetry.set_section(
                 "neighbors", self.testbed.neighbors.counters.as_dict()
             )
+            if sinr_state is not None:
+                # Interference stats: SINR-dropped receptions, mean/min
+                # SINR at delivery, concurrent-signal high-water mark.
+                self.telemetry.set_section("sinr", sinr_state.stats())
         return summarize(
             self.config.protocol,
             self.metrics,
@@ -302,6 +315,7 @@ class Network:
                 self.telemetry.report(self.sim) if self.telemetry is not None else None
             ),
             oracle=self.oracle.report() if self.oracle is not None else None,
+            sinr=sinr_state.stats() if sinr_state is not None else None,
         )
 
 

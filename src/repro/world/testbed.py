@@ -26,6 +26,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.faults.injector import FaultInjector
+    from repro.phy.sinr import SinrConfig, SinrState
 
 
 class MacTestbed:
@@ -47,6 +48,7 @@ class MacTestbed:
         neighbor_indexing: str = "auto",
         capture_threshold_db: Optional[float] = None,
         faults: Optional["FaultInjector"] = None,
+        sinr: Optional["SinrConfig"] = None,
     ):
         if provider is None:
             if coords is None:
@@ -62,11 +64,31 @@ class MacTestbed:
         #: ``tracer`` overrides the default (e.g. to use a RingBuffer or
         #: JsonlTraceSink backend); otherwise one is built from ``trace``.
         self.tracer = tracer if tracer is not None else Tracer(enabled=trace)
-        model = propagation or UnitDiskModel(phy.radio_range)
+        #: SINR subsystem (see repro.phy.sinr): the wiring supplies the
+        #: propagation model and the power-domain link spec; the per-run
+        #: channel state (tracker/counters) hangs off the data channel.
+        self.sinr_state: Optional["SinrState"] = None
+        power_spec = None
+        tone_threshold = None
+        if sinr is not None:
+            if propagation is not None:
+                raise ValueError(
+                    "give either a propagation model or a SinrConfig "
+                    "(the SINR wiring builds its own model)")
+            from repro.phy.sinr import wire_sinr
+
+            wiring = wire_sinr(sinr, phy, n_nodes, seed)
+            model: PropagationModel = wiring.model
+            power_spec = wiring.power_spec
+            tone_threshold = wiring.tone_threshold_dbm
+            self.sinr_state = wiring.build_state(self.rngs.stream("fading"))
+        else:
+            model = propagation or UnitDiskModel(phy.radio_range)
         #: ``neighbor_indexing``: "auto" (grid at >= GRID_THRESHOLD nodes),
         #: "grid", or "brute" -- see repro.phy.neighbors.
         self.neighbors = NeighborService(
-            provider, model, cache_window=cache_window, indexing=neighbor_indexing
+            provider, model, cache_window=cache_window,
+            indexing=neighbor_indexing, power_spec=power_spec,
         )
         #: Optional fault injector shared by the data and tone channels.
         self.faults = faults
@@ -79,11 +101,13 @@ class MacTestbed:
             tracer=self.tracer,
             capture_threshold_db=capture_threshold_db,
             faults=faults,
+            sinr=self.sinr_state,
         )
         self.tones: Dict[ToneType, BusyToneChannel] = {
             tone: BusyToneChannel(
                 self.sim, self.neighbors, tone, detect_time=phy.cca_time,
                 tracer=self.tracer, faults=faults,
+                power_threshold_dbm=tone_threshold,
             )
             for tone in ToneType
         }

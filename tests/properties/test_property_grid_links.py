@@ -16,7 +16,9 @@ from hypothesis import strategies as st
 from repro.mobility.base import MobilityProvider
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.phy.neighbors import NeighborService, StaticPositions
+from repro.phy.params import DEFAULT_PHY
 from repro.phy.propagation import LogDistanceModel, UnitDiskModel
+from repro.phy.sinr import SinrConfig, wire_sinr
 
 WIDTH, HEIGHT = 400.0, 250.0
 
@@ -60,6 +62,70 @@ def test_static_grid_tables_equal_brute(seed, n, kind, sense_extra, clustered):
     brute = NeighborService(provider, model, indexing="brute")
     for sender in range(n):
         assert grid.links_from(sender, 0) == brute.links_from(sender, 0)
+
+
+def make_power_spec(kind, hetero, n, seed):
+    """Power-mode wiring (SINR subsystem): model + LinkPowerSpec."""
+    overrides = dict(antenna_gain_db=2.0, antenna_gain_jitter_db=1.0,
+                     tx_power_jitter_db=3.0) if hetero else {}
+    config = SinrConfig(propagation=kind, **overrides)
+    wiring = wire_sinr(config, DEFAULT_PHY, n, seed)
+    return wiring.model, wiring.power_spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(2, 50),
+    kind=st.sampled_from(["shadowing", "logdistance"]),
+    hetero=st.booleans(),
+    clustered=st.booleans(),
+)
+def test_static_power_mode_grid_tables_equal_brute(
+        seed, n, kind, hetero, clustered):
+    """Power-mode links (pair-aware shadowing, heterogeneous radio
+    offsets, interference-only tails) keep the grid==brute bit-identity
+    contract: same nodes, delays, flags and ``power_dbm`` to the last
+    bit. The shadow cache is per-model, so both services share one
+    model instance -- exactly how the testbed wires it."""
+    rng = random.Random(seed)
+    provider = StaticPositions(make_coords(rng, n, clustered))
+    model, spec = make_power_spec(kind, hetero, n, seed)
+    grid = NeighborService(provider, model, indexing="grid", power_spec=spec)
+    brute = NeighborService(provider, model, indexing="brute", power_spec=spec)
+    for sender in range(n):
+        links = grid.links_from(sender, 0)
+        assert links == brute.links_from(sender, 0)
+        for link in links:
+            assert link.sensed == (link.power_dbm >= spec.cs_threshold_dbm)
+            assert link.in_rx_range == (link.power_dbm >= spec.rx_threshold_dbm)
+            assert link.power_dbm >= spec.keep_threshold_dbm
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(2, 24),
+    hetero=st.booleans(),
+)
+def test_mobile_power_mode_grid_tables_equal_brute(seed, n, hetero):
+    rng = random.Random(seed)
+    models = [
+        RandomWaypointModel(x, y, WIDTH, HEIGHT, 0.5, 8.0, 1.0,
+                            random.Random(seed * 1000 + i))
+        for i, (x, y) in enumerate(make_coords(rng, n, clustered=True))
+    ]
+    provider = MobilityProvider(models)
+    model, spec = make_power_spec("shadowing", hetero, n, seed)
+    window = 50_000_000
+    grid = NeighborService(provider, model, cache_window=window,
+                           indexing="grid", power_spec=spec)
+    brute = NeighborService(provider, model, cache_window=window,
+                            indexing="brute", power_spec=spec)
+    for epoch in range(3):
+        t = epoch * window + window // 3
+        for sender in range(n):
+            assert grid.links_from(sender, t) == brute.links_from(sender, t)
 
 
 @settings(max_examples=25, deadline=None)

@@ -245,3 +245,59 @@ def test_campaign_run_with_faults_and_oracle(capsys, tmp_path, monkeypatch):
                  "--faults", str(plan_path), "--oracle"])
     assert code == 0
     assert "(cached)" in capsys.readouterr().out
+
+
+def test_run_sinr_flag_prints_interference_stats(capsys):
+    code = main(["run", "--nodes", "10", "--width", "180", "--height", "130",
+                 "--packets", "4", "--rate", "5", "--sinr", "shadowing"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sinr:" in out and "interference drop(s)" in out
+
+
+def test_run_sinr_overrides_forwarded(capsys):
+    code = main(["run", "--nodes", "10", "--width", "180", "--height", "130",
+                 "--packets", "4", "--rate", "5", "--sinr", "shadowing",
+                 "--sinr-threshold", "6", "--sinr-sigma", "4",
+                 "--sinr-fading", "rician", "--tx-jitter", "2"])
+    assert code == 0
+    assert "sinr:" in capsys.readouterr().out
+
+
+def test_sinr_flags_without_profile_are_ignored(capsys):
+    # --sinr-threshold alone (no --sinr) keeps the threshold path.
+    code = main(["run", "--nodes", "10", "--width", "180", "--height", "130",
+                 "--packets", "4", "--rate", "5", "--sinr-threshold", "6"])
+    assert code == 0
+    assert "sinr:" not in capsys.readouterr().out
+
+
+def test_campaign_run_sinr_manifest_and_resume(capsys, tmp_path, monkeypatch):
+    import repro.cli as cli
+    import repro.experiments.runner as runner_module
+    from repro.experiments.store import ResultStore
+
+    monkeypatch.setitem(cli.FIGURE_SCALES, "small", (10, 4, (10,), (1,)))
+    store = tmp_path / "campaign"
+    code = main(["campaign", "run", "--out", str(store), "--scale", "small",
+                 "--protocols", "rmac", "--sinr", "shadowing"])
+    assert code == 0
+    capsys.readouterr()
+
+    # The SinrConfig lands in the manifest, and status reconstructs the
+    # shadowed matrix: nothing missing or stale.
+    manifest = ResultStore(str(store), create=False).manifest()
+    assert manifest["sinr"]["propagation"] == "shadowing"
+    code = main(["campaign", "status", "--out", str(store)])
+    assert code == 0
+    assert "3/3 points done (100%)" in capsys.readouterr().out
+
+    # Resume with the same flag: fully cached.
+    def exploding_run_point(config):
+        raise AssertionError("resume must not simulate completed points")
+
+    monkeypatch.setattr(runner_module, "run_point", exploding_run_point)
+    code = main(["campaign", "run", "--out", str(store), "--scale", "small",
+                 "--protocols", "rmac", "--sinr", "shadowing"])
+    assert code == 0
+    assert "(cached)" in capsys.readouterr().out
