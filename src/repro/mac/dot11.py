@@ -39,7 +39,7 @@ from repro.mac.frames import (
 from repro.phy.channel import Transmission
 from repro.phy.params import DEFAULT_PHY, PhyParams
 from repro.phy.radio import Radio
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import FastEvent, Simulator
 from repro.sim.timers import Timer
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.sim.units import US
@@ -72,6 +72,19 @@ class Dot11Config:
         )
 
 
+class _DcfPumpEvent(FastEvent):
+    """The DCF backoff pump as a recycled fire-and-forget event."""
+
+    __slots__ = ("mac",)
+    label = "dcf-pump"
+
+    def __init__(self, mac: "Dot11Base"):
+        self.mac = mac
+
+    def __call__(self) -> None:
+        self.mac._tick()
+
+
 class Dot11Base(MacProtocol):
     """Shared DCF machinery: DIFS + backoff contention, NAV, responders."""
 
@@ -100,7 +113,11 @@ class Dot11Base(MacProtocol):
         self.nav_until: int = 0
         self.multicast_groups: set[int] = set()
         self.in_txn = False
-        self._pump_handle: Optional[EventHandle] = None
+        #: One reusable pump event (never cancelled, at most one in
+        #: flight -- guarded by ``_pump_scheduled``): allocation-free
+        #: per-slot countdown, mirroring the RMAC pump.
+        self._pump_event = _DcfPumpEvent(self)
+        self._pump_scheduled = False
         self._idle_wait_pending = False
         self._phase_timer = Timer(sim, self._on_phase_timeout, "phase")
         self._tx_done_cb: Optional[Callable[[object, bool], None]] = None
@@ -126,21 +143,25 @@ class Dot11Base(MacProtocol):
         return self.in_txn or bool(self.queue)
 
     def _kick(self) -> None:
-        if self._pump_handle is None and not self.in_txn:
+        if not self._pump_scheduled and not self.in_txn:
             # 802.11: immediate access is allowed only if the medium has
             # already been idle for DIFS when the frame arrives; otherwise
             # the station must perform a backoff. Without the draw, sibling
             # receivers forwarding the same multicast all fire at once.
             if self.backoff.bi == 0 and self._idle_duration() < self.config.phy.difs:
                 self.backoff.draw()
-            self._pump_handle = self.sim.call_soon(self._tick, label="dcf-pump")
+            self._pump_scheduled = True
+            sim = self.sim
+            sim.schedule_fast(sim.now, self._pump_event)
 
     def _ensure_pump(self, delay: int) -> None:
-        if self._pump_handle is None:
-            self._pump_handle = self.sim.after(delay, self._tick, label="dcf-pump")
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            sim = self.sim
+            sim.schedule_fast(sim.now + delay, self._pump_event)
 
     def _tick(self) -> None:
-        self._pump_handle = None
+        self._pump_scheduled = False
         if self.in_txn:
             return
         phy = self.config.phy

@@ -60,11 +60,13 @@ class BlessConfig:
             raise ValueError("jitter must be in [0, 1)")
 
 
-@dataclass
 class _NeighborEntry:
-    hops: int
-    parent: int
-    heard_at: int
+    __slots__ = ("hops", "parent", "heard_at")
+
+    def __init__(self, hops: int, parent: int, heard_at: int):
+        self.hops = hops
+        self.parent = parent
+        self.heard_at = heard_at
 
 
 class BlessProtocol:
@@ -84,6 +86,16 @@ class BlessProtocol:
         self.config = config
         self._rng = rng
         self._table: Dict[int, _NeighborEntry] = {}
+        #: Lower bound on the oldest ``heard_at`` in the table; lets
+        #: :meth:`_expire` skip the full scan (the common case: every
+        #: routing message triggers a reselect, but entries only age out
+        #: on the heartbeat timescale). Maintained lazily -- it may lag
+        #: below the true minimum, never above it.
+        self._oldest_heard: int = 0
+        #: Set when expiry removed entries: the cached minimum (the
+        #: current parent) may be gone, so the next routing message
+        #: falls back to a full :meth:`_reselect` scan.
+        self._stale_best: bool = False
         self.parent: int = -1
         self.hops: int = 0 if node_id == config.root else UNJOINED
         #: (time, parent) history, for tree-churn analysis.
@@ -113,20 +125,68 @@ class BlessProtocol:
         self.sim.after(gap, self._broadcast, label="bless-tx")
 
     def on_routing_message(self, message: RoutingMessage, sender: int) -> None:
-        """Handle a neighbor's broadcast (called from the network layer)."""
-        self._table[message.origin] = _NeighborEntry(
-            hops=message.hops_to_root,
-            parent=message.parent,
-            heard_at=self.sim.now,
-        )
-        self._reselect()
+        """Handle a neighbor's broadcast (called from the network layer).
+
+        Parent selection is incremental: the current parent is by
+        construction the table's minimum ``(hops, id)`` key, so a single
+        updated entry only needs comparing against it. A full rescan
+        (:meth:`_reselect`) happens only when the update can *worsen*
+        the minimum -- the parent's own advertisement degraded, or
+        expiry removed entries -- instead of on every heartbeat from
+        every neighbor.
+        """
+        origin = message.origin
+        hops = message.hops_to_root
+        entry = self._table.get(origin)
+        if entry is None:
+            self._table[origin] = _NeighborEntry(
+                hops, message.parent, self.sim.now)
+        else:  # steady state: refresh in place, no allocation
+            entry.hops = hops
+            entry.parent = message.parent
+            entry.heard_at = self.sim.now
+        if self.is_root:
+            return
+        self._expire()
+        if self._stale_best:
+            self._stale_best = False
+            self._reselect()
+            return
+        parent = self.parent
+        if parent == -1:
+            if hops < UNJOINED:
+                self._adopt(origin, hops)
+        elif origin == parent:
+            if hops + 1 > self.hops:
+                self._reselect()  # our parent got worse: rescan
+            else:
+                self.hops = hops + 1  # improved/unchanged, still minimal
+        elif hops < UNJOINED:
+            best_hops = self.hops - 1
+            if hops < best_hops or (hops == best_hops and origin < parent):
+                self._adopt(origin, hops)
+
+    def _adopt(self, neighbor: int, hops: int) -> None:
+        self.parent_changes.append((self.sim.now, neighbor))
+        self.parent = neighbor
+        self.hops = hops + 1
 
     # ------------------------------------------------------------------
     def _expire(self) -> None:
         cutoff = self.sim.now - self.config.expiry
-        stale = [n for n, e in self._table.items() if e.heard_at < cutoff]
-        for n in stale:
-            del self._table[n]
+        if self._oldest_heard >= cutoff:
+            return  # nothing can be stale yet
+        table = self._table
+        stale = [n for n, e in table.items() if e.heard_at < cutoff]
+        if stale:
+            self._stale_best = True
+            for n in stale:
+                del table[n]
+        # Tighten the bound to the surviving minimum so the next calls
+        # short-circuit until that entry actually ages out.
+        self._oldest_heard = (
+            min(e.heard_at for e in table.values()) if table else self.sim.now
+        )
 
     def _reselect(self) -> None:
         """Re-derive parent and hops from the live neighbor table."""
@@ -134,22 +194,23 @@ class BlessProtocol:
             return
         self._expire()
         best: Optional[int] = None
-        best_key = (UNJOINED, 0)
+        best_hops = UNJOINED
         for neighbor, entry in self._table.items():
-            if entry.hops >= UNJOINED:
+            hops = entry.hops
+            if hops >= UNJOINED:
                 continue
-            key = (entry.hops, neighbor)
-            if key < best_key:
-                best_key = key
+            if hops < best_hops or (hops == best_hops and neighbor < best):
+                best_hops = hops
                 best = neighbor
         if best is None:
             new_parent, new_hops = -1, UNJOINED
         else:
-            new_parent, new_hops = best, best_key[0] + 1
+            new_parent, new_hops = best, best_hops + 1
         if new_parent != self.parent:
             self.parent_changes.append((self.sim.now, new_parent))
         self.parent = new_parent
         self.hops = new_hops
+        self._stale_best = False
 
     def children(self) -> Tuple[int, ...]:
         """Neighbors currently claiming this node as their parent."""

@@ -39,8 +39,9 @@ class NetworkLayer:
         self.app.start()
 
     def on_receive(self, payload: object, src: int) -> None:
-        if isinstance(payload, RoutingMessage):
+        tp = type(payload)
+        if tp is RoutingMessage or isinstance(payload, RoutingMessage):
             self.bless.on_routing_message(payload, src)
-        elif isinstance(payload, MulticastPacket):
+        elif tp is MulticastPacket or isinstance(payload, MulticastPacket):
             self.app.on_packet(payload, src)
         # Unknown payloads (raw test traffic) are dropped silently.

@@ -101,10 +101,13 @@ class BusyToneChannel:
         self._active: Dict[int, _Emission] = {}
         self._recent: List[_Emission] = []
         self._present: Dict[int, int] = {}
-        #: Free lists of fired presence-delta events (reused across
-        #: emissions; the tone fan-out allocates nothing in steady state).
-        self._on_pool: List[_ToneOn] = []
-        self._off_pool: List[_ToneOff] = []
+        #: Per-node singleton presence-delta events. A presence delta
+        #: carries no per-flight state (its node is fixed for life), so
+        #: one object per node serves every emission -- the same event
+        #: can sit in the queue several times at once -- and reuse is
+        #: zero-write: no pool pops, no attribute stores, no allocation.
+        self._on_events: Dict[int, _ToneOn] = {}
+        self._off_events: Dict[int, _ToneOff] = {}
         #: One-shot callbacks fired when the tone clears at a node.
         self._clear_waiters: Dict[int, List[Callable[[], None]]] = {}
         #: node -> (callback, pending detection event handles)
@@ -155,14 +158,12 @@ class BusyToneChannel:
         # need cancellable handles) stay on sim.at. Presence lands within
         # one link delay (< 1 us) while detections trail by lambda = 15 us,
         # so reordering the two groups cannot create a same-time tie.
-        pool = self._on_pool
+        events = self._on_events
         entries = []
         for node, delay in emission.link_delays.items():
-            if pool:
-                event = pool.pop()
-                event.node = node
-            else:
-                event = _ToneOn(self, node)
+            event = events.get(node)
+            if event is None:
+                event = events[node] = _ToneOn(self, node)
             entries.append((now + delay, event))
         self._sim.schedule_many(entries)
         detect_time = self.detect_time
@@ -178,14 +179,12 @@ class BusyToneChannel:
             raise RuntimeError(f"node {emitter} does not emit {self.tone.value}")
         now = self._sim.now
         emission.end = now
-        pool = self._off_pool
+        events = self._off_events
         entries = []
         for node, delay in emission.link_delays.items():
-            if pool:
-                event = pool.pop()
-                event.node = node
-            else:
-                event = _ToneOff(self, node)
+            event = events.get(node)
+            if event is None:
+                event = events[node] = _ToneOff(self, node)
             entries.append((now + delay, event))
         self._sim.schedule_many(entries)
         self._recent.append(emission)
@@ -330,7 +329,7 @@ class BusyToneChannel:
 
 
 class _ToneOn(FastEvent):
-    """Pooled presence(+1) event, scheduled via ``schedule_many``."""
+    """Per-node singleton presence(+1) event (see ``_on_events``)."""
 
     __slots__ = ("channel", "node")
 
@@ -341,14 +340,15 @@ class _ToneOn(FastEvent):
         self.node = node
 
     def __call__(self) -> None:
-        channel = self.channel
+        # +1 can never drop a presence count to zero, so the clear-waiter
+        # path in _apply_presence is unreachable here; apply inline.
+        present = self.channel._present
         node = self.node
-        channel._on_pool.append(self)
-        channel._apply_presence(node, +1)
+        present[node] = present.get(node, 0) + 1
 
 
 class _ToneOff(FastEvent):
-    """Pooled presence(-1) event, scheduled via ``schedule_many``."""
+    """Per-node singleton presence(-1) event (see ``_off_events``)."""
 
     __slots__ = ("channel", "node")
 
@@ -359,10 +359,7 @@ class _ToneOff(FastEvent):
         self.node = node
 
     def __call__(self) -> None:
-        channel = self.channel
-        node = self.node
-        channel._off_pool.append(self)
-        channel._apply_presence(node, -1)
+        self.channel._apply_presence(self.node, -1)
 
 
 class _DetectionCheck:

@@ -445,7 +445,7 @@ class DataChannel:
                 signals.pop(tx, None)
         busy = self._busy
         count = busy.get(node)
-        if not count or count < 0:
+        if count is None or count < 0:
             # An end without a matching start means arrival bookkeeping
             # lost or duplicated an event; inventing a count here would
             # silently mask it. Fail loudly instead.

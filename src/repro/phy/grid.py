@@ -29,6 +29,7 @@ Implementation notes (all-numpy; no per-cell Python loop):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Tuple
 
 import numpy as np
@@ -58,7 +59,8 @@ class SpatialGrid:
     """An immutable uniform grid over one snapshot of node positions."""
 
     __slots__ = ("cell_size", "n", "n_cells", "_keys", "_key_offsets",
-                 "_order", "_uniq_keys", "_starts", "_ends")
+                 "_order", "_uniq_keys", "_starts", "_ends", "_cand_cache",
+                 "_uniq_list")
 
     def __init__(self, positions: np.ndarray, cell_size: float):
         pos = np.asarray(positions, dtype=float)
@@ -85,6 +87,15 @@ class SpatialGrid:
         self._ends = np.append(starts[1:], self.n)
         #: Number of occupied cells (telemetry: cells touched per rebuild).
         self.n_cells = len(uniq)
+        #: Lazy Python-list copy of ``_uniq_keys`` for bisect probes
+        #: (built on the first sparse query; dense rebuilds never pay).
+        self._uniq_list = None
+        #: cell key -> sorted candidate array. Every sender in a cell
+        #: shares the exact same 3x3 candidate set, and sparse buckets
+        #: query the same few cells repeatedly (one hello burst = many
+        #: senders clustered around the same coordinates), so the
+        #: 9-probe search amortizes to one per *cell* per snapshot.
+        self._cand_cache: dict = {}
 
     def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
         """All (sender, candidate) index pairs from the 3 x 3 neighborhoods.
@@ -121,12 +132,23 @@ class SpatialGrid:
         if not 0 <= node < self.n:
             raise ValueError(f"unknown node id {node}")
         key = int(self._keys[node])
-        uniq, starts, ends, order = (self._uniq_keys, self._starts,
-                                     self._ends, self._order)
+        cached = self._cand_cache.get(key)
+        if cached is not None:
+            return cached
+        uniq = self._uniq_list
+        if uniq is None:
+            uniq = self._uniq_list = self._uniq_keys.tolist()
+        starts, ends, order = self._starts, self._ends, self._order
+        n_cells = len(uniq)
         chunks = []
         for offset in self._key_offsets:
             probe = key + offset
-            i = int(np.searchsorted(uniq, probe))
-            if i < len(uniq) and uniq[i] == probe:
+            # bisect on a plain list: ~10x cheaper than np.searchsorted
+            # for a single probe (the sparse path queries one sender at
+            # a time, so the vectorized form has nothing to amortize).
+            i = bisect_left(uniq, probe)
+            if i < n_cells and uniq[i] == probe:
                 chunks.append(order[starts[i]:ends[i]])
-        return np.sort(np.concatenate(chunks))
+        result = np.sort(np.concatenate(chunks))
+        self._cand_cache[key] = result
+        return result

@@ -651,22 +651,20 @@ class NeighborService:
         model = self._model
         max_range = model.max_range()
         power_fn = getattr(model, "received_power_dbm", None)
+        sensed_fn = model.carrier_sensed
+        in_range_fn = model.in_range
+        delay_fn = propagation_delay_ns
+        append = links.append
         for idx in np.flatnonzero(dists <= max_range):
             node = int(cand[idx])
             if node == sender:
                 continue
             d = float(dists[idx])
-            if not model.carrier_sensed(d):
+            if not sensed_fn(d):
                 continue
             power = power_fn(d) if power_fn is not None else None
-            links.append(
-                Link(
-                    node=node,
-                    delay_ns=propagation_delay_ns(d),
-                    in_rx_range=model.in_range(d),
-                    power_dbm=float(power) if power is not None else None,
-                )
-            )
+            append(Link(node, delay_fn(d), in_range_fn(d),
+                        float(power) if power is not None else None))
         return tuple(links)
 
     def distance(self, a: int, b: int, time_ns: int) -> float:

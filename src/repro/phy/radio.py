@@ -64,6 +64,14 @@ class Radio:
     # ------------------------------------------------------------------
     def attach(self, listener: RadioListener) -> None:
         self._listener = listener
+        # Re-register the listener directly with the data channel: the
+        # RadioListener and ChannelListener callback signatures are
+        # identical, so the per-frame forwarding hop through this radio
+        # (four methods, two of them on the arrival hot path) vanishes.
+        # The radio stays registered until a listener exists, and the
+        # forwarding methods below remain for tests that drive a radio
+        # without a MAC.
+        self._data.attach(self.node_id, listener)
 
     @property
     def phy(self) -> PhyParams:
@@ -123,6 +131,19 @@ class Radio:
     def tone_present(self, tone: ToneType) -> bool:
         """Tone sensing (self-emissions excluded)."""
         return self._tone(tone).present(self.node_id)
+
+    def sense_maps(self, tone: ToneType) -> tuple:
+        """Raw sensing state for MAC hot loops.
+
+        Returns ``(busy, transmitting, present)``: the data channel's
+        busy-count and active-transmitter maps plus ``tone``'s presence
+        counts, all keyed by node id. The dict objects are stable for
+        the life of the channel, so a per-slot countdown can sense both
+        channels with two membership tests and a ``get`` instead of four
+        method calls -- the backoff pump is the single most frequent
+        event in a paper-scale run. Callers must treat them read-only.
+        """
+        return self._data._busy, self._data._transmitting, self._tone(tone)._present
 
     def tone_longest_presence(self, tone: ToneType, t0: int, t1: int) -> int:
         return self._tone(tone).longest_presence(self.node_id, t0, t1)

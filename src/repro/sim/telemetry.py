@@ -20,8 +20,12 @@ its result, not an ad-hoc printout.
 
 Overhead: when no telemetry is attached the simulator pays a single
 ``is None`` check per event. When attached, each event additionally pays
-two ``perf_counter`` calls and two dict updates -- fine for profiling
-runs, which is the only time telemetry is on.
+one ``perf_counter`` call and one dict update: the run loop timestamps
+event *boundaries*, so a label's wall time is inclusive -- the callback
+body plus that event's share of scheduling overhead. The per-label
+split remains proportional (scheduling cost is near-uniform per event)
+and the total matches the loop's true wall time instead of undercounting
+it -- fine for profiling runs, which is the only time telemetry is on.
 """
 
 from __future__ import annotations
@@ -48,7 +52,8 @@ class TelemetryReport:
     sim_ns_per_wall_s: float
     #: label -> number of events executed under that label.
     label_counts: Dict[str, int]
-    #: label prefix (before the first ``-``) -> wall seconds in callbacks.
+    #: label prefix (before the first ``-``) -> inclusive wall seconds
+    #: (callback body + that event's share of loop overhead).
     subsystem_wall_s: Dict[str, float]
     #: Sampled event-queue depths (one sample per ``heap_sample_interval``).
     heap_depth_max: int
@@ -135,19 +140,37 @@ class Telemetry:
         if heap_sample_interval < 1:
             raise ValueError("heap_sample_interval must be >= 1")
         self.heap_sample_interval = heap_sample_interval
-        self.label_counts: Dict[str, int] = {}
-        self.subsystem_wall_s: Dict[str, float] = {}
-        #: label -> subsystem prefix, cached so the per-event hook does not
-        #: re-split (and re-allocate) the same handful of label strings.
-        self._subsystem_of: Dict[str, str] = {}
+        #: label -> ``[count, wall_s]``. One dict hit per event; the
+        #: public per-label/per-subsystem views are derived on demand
+        #: (see :attr:`label_counts` / :attr:`subsystem_wall_s`).
+        self._label_stats: Dict[str, list] = {}
         self.heap_samples: List[int] = []
         #: Named counter sections (see :attr:`TelemetryReport.sections`).
         self.sections: Dict[str, dict] = {}
         self.events = 0
-        self.wall_s = 0.0
         self._last_heap_depth = 0
         self._start_sim_time: Optional[int] = None
         self._start_wall: Optional[float] = None
+
+    # -- derived views (report/tests; not on the hot path) -------------
+    @property
+    def label_counts(self) -> Dict[str, int]:
+        """label -> number of events executed under that label."""
+        return {label: stats[0] for label, stats in self._label_stats.items()}
+
+    @property
+    def subsystem_wall_s(self) -> Dict[str, float]:
+        """label prefix (before the first ``-``) -> inclusive wall seconds."""
+        out: Dict[str, float] = {}
+        for label, stats in self._label_stats.items():
+            subsystem = label.split("-", 1)[0]
+            out[subsystem] = out.get(subsystem, 0.0) + stats[1]
+        return out
+
+    @property
+    def wall_s(self) -> float:
+        """Total wall seconds accounted to executed events."""
+        return sum(stats[1] for stats in self._label_stats.values())
 
     # ------------------------------------------------------------------
     def attach(self, sim) -> "Telemetry":
@@ -174,18 +197,15 @@ class Telemetry:
     # ------------------------------------------------------------------
     def record(self, label: str, duration_s: float, heap_depth: int) -> None:
         """Account one executed event (called by the simulator hot loop)."""
-        self.events += 1
-        self.wall_s += duration_s
-        counts = self.label_counts
-        counts[label] = counts.get(label, 0) + 1
-        subsystem = self._subsystem_of.get(label)
-        if subsystem is None:
-            subsystem = label.split("-", 1)[0]
-            self._subsystem_of[label] = subsystem
-        walls = self.subsystem_wall_s
-        walls[subsystem] = walls.get(subsystem, 0.0) + duration_s
+        self.events = events = self.events + 1
+        try:
+            stats = self._label_stats[label]
+        except KeyError:
+            stats = self._label_stats[label] = [0, 0.0]
+        stats[0] += 1
+        stats[1] += duration_s
         self._last_heap_depth = heap_depth
-        if self.events % self.heap_sample_interval == 0:
+        if not events % self.heap_sample_interval:
             self.heap_samples.append(heap_depth)
 
     # ------------------------------------------------------------------

@@ -37,8 +37,10 @@ def test_without_suppression_hidden_node_collides():
     """Sanity inversion: if node 2 ignored the RBT channel the data frame
     would collide at node 1 -- demonstrating RBT is load-bearing."""
     tb = make_rmac_testbed(CHAIN[:3], seed=8)
-    # Cripple node 2's RBT sensing (pretend it never senses the tone).
-    tb.macs[2]._channels_idle = lambda: not tb.radios[2].data_busy()
+    # Cripple node 2's RBT sensing (pretend it never senses the tone):
+    # swap its RBT presence map for an empty one, so both the inlined
+    # pump sensing and _channels_idle() see a permanently silent tone.
+    tb.macs[2]._rbt_map = {}
     rx1 = collect_upper(tb.macs[1])
     tb.sim.at(1 * MS, lambda: tb.macs[0].send_reliable((1,), "protected", 1400))
     tb.sim.at(2 * MS, lambda: tb.macs[2].send_unreliable(-1, "intruder", 1400))

@@ -1,0 +1,103 @@
+"""Property tests: the calendar kernel is bit-identical to the heap.
+
+Each test drives both kernels through the same randomized program and
+asserts identical observable behavior -- execution order, fired subset,
+clock values. This is the kernel contract the full-stack A/B harness
+(``tools/kernel_ab.py``) checks end-to-end; here hypothesis explores
+the scheduling corner cases (same-tick ties, ring-lap boundaries,
+cancellations, ``call_soon`` re-entry, ``until``/``max_events``)
+directly at the engine API.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+#: Calendar geometry under test (defaults): day 2**15 ns, 2048-day lap.
+DAY = 1 << 15
+LAP = 2048 * DAY
+
+#: Times biased toward calendar boundaries: inside one day, on day
+#: edges, across laps -- plus a smearing of arbitrary values.
+interesting_times = st.one_of(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from([DAY - 1, DAY, DAY + 1, 2 * DAY,
+                     LAP - 1, LAP, LAP + 1, 3 * LAP + DAY]),
+    st.integers(min_value=0, max_value=4 * LAP),
+)
+
+
+def run_program(kernel, schedule, cancel_mask, nested_delays):
+    """One deterministic program: absolute schedules (some cancelled),
+    each firing optionally re-scheduling relative follow-ups and a
+    same-time ``call_soon``."""
+    sim = Simulator(kernel=kernel)
+    log = []
+    handles = []
+
+    def fire(tag, followups):
+        log.append((sim.now, tag))
+        for j, delay in enumerate(followups):
+            sim.after(delay, lambda t=f"{tag}+f{j}": log.append((sim.now, t)),
+                      label="nested")
+        if followups:
+            sim.call_soon(lambda t=f"{tag}+soon": log.append((sim.now, t)))
+
+    for i, t in enumerate(schedule):
+        followups = nested_delays if i % 3 == 0 else []
+        handles.append(sim.at(t, lambda i=i, f=tuple(followups): fire(i, f),
+                              label="root"))
+    for handle, cancel in zip(handles, cancel_mask):
+        if cancel:
+            handle.cancel()
+    sim.run()
+    return log, sim.now, sim.events_processed
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=st.lists(interesting_times, min_size=1, max_size=25),
+       cancel_mask=st.lists(st.booleans(), min_size=25, max_size=25),
+       nested_delays=st.lists(st.integers(min_value=0, max_value=2 * DAY),
+                              min_size=0, max_size=3))
+def test_calendar_matches_heap_order(schedule, cancel_mask, nested_delays):
+    heap = run_program("heap", schedule, cancel_mask, nested_delays)
+    calendar = run_program("calendar", schedule, cancel_mask, nested_delays)
+    assert calendar == heap
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=st.lists(interesting_times, min_size=1, max_size=20),
+       until=interesting_times,
+       max_events=st.one_of(st.none(), st.integers(min_value=0, max_value=12)))
+def test_until_and_max_events_agree(schedule, until, max_events):
+    """Horizon and budget cut both kernels at the same event; a second
+    unbounded run completes identically from the cut point."""
+    results = []
+    for kernel in ("heap", "calendar"):
+        sim = Simulator(kernel=kernel)
+        log = []
+        for i, t in enumerate(schedule):
+            sim.at(t, lambda i=i: log.append((sim.now, i)))
+        sim.run(until=until, max_events=max_events)
+        cut = (list(log), sim.now, sim.events_processed)
+        sim.run()
+        results.append((cut, list(log), sim.now))
+    assert results[0] == results[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(times=st.lists(interesting_times, min_size=1, max_size=15),
+       horizon=interesting_times)
+def test_clock_advances_on_drain_under_both_kernels(times, horizon):
+    """run(until=...) that outlives the queue parks the clock exactly at
+    the horizon on every kernel."""
+    ends = []
+    for kernel in ("heap", "calendar"):
+        sim = Simulator(kernel=kernel)
+        for t in times:
+            sim.at(t, lambda: None)
+        end = sim.run(until=horizon)
+        # The return value is the clock, never short of the horizon.
+        assert end == sim.now >= horizon
+        ends.append((end, sim.events_processed))
+    assert ends[0] == ends[1]

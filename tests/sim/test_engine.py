@@ -209,16 +209,29 @@ def test_schedule_many_ties_interleave_with_handles_by_insertion():
     assert log == ["handle-1", "fast", "handle-2"]
 
 
-def test_schedule_many_rejects_past_times():
+def test_schedule_many_rejects_past_times_atomically():
     sim = Simulator()
     sim.at(100, lambda: None)
     sim.run()
     log = []
     with pytest.raises(SimulationError):
         sim.schedule_many([(150, _Probe(log, "ok")), (50, _Probe(log, "past"))])
-    # The valid entry before the bad one stays scheduled and still fires.
+    # Atomic: a bad entry anywhere in the batch leaves the queue untouched,
+    # even for valid pairs that preceded it.
+    assert sim.pending_count() == 0
     sim.run()
-    assert log == ["ok"]
+    assert log == []
+
+
+def test_schedule_many_validates_before_consuming_generator():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    log = []
+    entries = ((t, _Probe(log, t)) for t in (150, 50, 200))
+    with pytest.raises(SimulationError):
+        sim.schedule_many(entries)
+    assert sim.pending_count() == 0
 
 
 def test_schedule_many_counts_and_labels_in_telemetry():

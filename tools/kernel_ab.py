@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Kernel A/B bit-identity gate: heap vs calendar, full stack.
+
+Runs the same committed scenarios once per event-queue kernel and
+asserts the runs are *bit-identical* where it matters:
+
+* every deterministic ``RunSummary`` metric field matches exactly;
+* ``events_processed`` matches (same number of events executed);
+* the **trace streams** match -- each run's tracer feeds a streaming
+  SHA-256 over the JSONL rendering of every emitted event, so the
+  comparison covers the exact sequence of protocol-level actions
+  (state changes, tx/rx, tones, drops) without holding two
+  million-event traces in memory.
+
+Scenarios:
+
+* ``rmac-40``   -- the committed 40-node paper-scale bench scenario;
+* ``bmmm-40``   -- the same field under the BMMM baseline protocol;
+* ``waypoint-1000`` -- the 1000-node random-waypoint scaling point
+  (the headline bench point). Skipped under ``--quick``.
+
+Exit status 0 iff every scenario matches; CI runs this as the kernel
+A/B job. Any mismatch prints the drifted fields/digests and fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+from repro.experiments.bench import METRIC_FIELDS
+from repro.sim.trace import TraceBuffer, TraceEvent, Tracer
+from repro.world.network import ScenarioConfig, build_network
+
+KERNELS = ("heap", "calendar")
+
+SCENARIOS = {
+    "rmac-40": dict(protocol="rmac", n_nodes=40, width=360.0, height=220.0,
+                    rate_pps=20.0, n_packets=120, seed=1),
+    "bmmm-40": dict(protocol="bmmm", n_nodes=40, width=360.0, height=220.0,
+                    rate_pps=20.0, n_packets=120, seed=3),
+    "waypoint-1000": dict(protocol="rmac", n_nodes=1000, width=1600.0,
+                          height=1000.0, mobile=True, rate_pps=2.0,
+                          n_packets=6, warmup_s=2.0, drain_s=2.0, seed=1),
+}
+
+
+class HashBuffer(TraceBuffer):
+    """Streams every trace event into a SHA-256; keeps nothing."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self._count = 0
+
+    def append(self, event: TraceEvent) -> None:
+        self._hash.update(event.to_json().encode())
+        self._hash.update(b"\n")
+        self._count += 1
+
+    def snapshot(self):
+        return []
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def run_one(name: str, kernel: str) -> dict:
+    config = ScenarioConfig(**SCENARIOS[name])
+    buffer = HashBuffer()
+    tracer = Tracer(enabled=True, buffer=buffer)
+    network = build_network(config, tracer=tracer, kernel=kernel)
+    summary = network.run()
+    return {
+        "metrics": {field: getattr(summary, field)
+                    for field in METRIC_FIELDS},
+        "events": network.sim.events_processed,
+        "trace_events": len(buffer),
+        "trace_sha256": buffer.digest,
+    }
+
+
+def compare(name: str) -> bool:
+    runs = {kernel: run_one(name, kernel) for kernel in KERNELS}
+    ref_kernel, *others = KERNELS
+    ref = runs[ref_kernel]
+    ok = True
+    for kernel in others:
+        other = runs[kernel]
+        drifted = [key for key in ("events", "trace_events", "trace_sha256")
+                   if ref[key] != other[key]]
+        drifted += [f"metrics.{field}" for field in METRIC_FIELDS
+                    if ref["metrics"][field] != other["metrics"][field]]
+        if drifted:
+            ok = False
+            print(f"FAIL {name}: {ref_kernel} vs {kernel} drift in "
+                  f"{', '.join(drifted)}")
+            for key in drifted:
+                if key.startswith("metrics."):
+                    field = key.split(".", 1)[1]
+                    print(f"  {field}: {ref['metrics'][field]!r} != "
+                          f"{other['metrics'][field]!r}")
+                else:
+                    print(f"  {key}: {ref[key]!r} != {other[key]!r}")
+    if ok:
+        print(f"ok   {name}: {ref['trace_events']} trace events, "
+              f"{ref['events']} sim events, sha256 "
+              f"{ref['trace_sha256'][:16]}... identical across "
+              f"{', '.join(KERNELS)}")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the 1000-node waypoint scenario")
+    parser.add_argument("--only", choices=sorted(SCENARIOS),
+                        help="run a single scenario")
+    args = parser.parse_args(argv)
+    names = [args.only] if args.only else list(SCENARIOS)
+    if args.quick and not args.only:
+        names.remove("waypoint-1000")
+    failures = [name for name in names if not compare(name)]
+    if failures:
+        print(f"kernel A/B FAILED: {', '.join(failures)}")
+        return 1
+    print("kernel A/B: all scenarios bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
